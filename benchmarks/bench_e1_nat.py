@@ -1,0 +1,79 @@
+"""Experiment E1 (extension) — source NAT ablation.
+
+The paper's router routes the private per-device /30s upstream directly;
+a production home router would masquerade them behind its single
+external address.  This bench measures what the NAT extension costs:
+flow setup with and without translation, binding allocation, and the
+datapath's per-packet rewrite overhead.  Shape claims: NAT adds one
+extra flow installation (the reverse rule) and a port allocation to
+setup, and only header-rewrite cost per packet thereafter.
+"""
+
+import itertools
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.net.addresses import IPv4Address
+from repro.services.nat import NatTable
+
+from tests.conftest import join_device
+
+_ports = itertools.count(40000)
+
+
+def build(nat_enabled):
+    sim = Simulator(seed=19)
+    router = HomeworkRouter(
+        sim, config=RouterConfig(default_permit=True, nat_enabled=nat_enabled)
+    )
+    router.start()
+    host = join_device(router, "laptop", "02:aa:00:00:00:01")
+    return sim, router, host
+
+
+@pytest.mark.parametrize("nat_enabled", [False, True], ids=["routed", "nat"])
+def test_e1_upstream_flow_setup(benchmark, nat_enabled):
+    sim, router, host = build(nat_enabled)
+    target = router.cloud.lookup("bbc.co.uk")
+
+    def fresh_upstream_flow():
+        host.udp_send(target, 8883, b"payload", sport=next(_ports))
+        sim.run_for(0.2)
+
+    benchmark(fresh_upstream_flow)
+    benchmark.extra_info["mode"] = "nat" if nat_enabled else "routed"
+    benchmark.extra_info["flows_installed"] = router.router_core.flows_installed
+    if nat_enabled:
+        assert len(router.router_core.nat) > 0
+
+
+def test_e1_binding_allocation(benchmark):
+    table = NatTable(IPv4Address("82.10.0.2"))
+    counter = itertools.count(1)
+
+    def bind_release():
+        port = next(counter) % 60000 + 1
+        binding = table.bind(6, "10.2.0.6", port, 0.0)
+        table.release(6, binding.external_port)
+
+    benchmark(bind_release)
+    benchmark.extra_info["allocations"] = table.allocations
+
+
+def test_e1_nat_throughput_in_flow(benchmark):
+    """Per-packet cost once the NAT flows are installed (cache hits)."""
+    sim, router, host = build(nat_enabled=True)
+    target = router.cloud.lookup("bbc.co.uk")
+    sport = next(_ports)
+    host.udp_send(target, 8883, b"warm", sport=sport)
+    sim.run_for(0.5)
+    hits_before = router.datapath.cache_hits
+
+    def one_packet():
+        host.udp_send(target, 8883, b"data", sport=sport)
+        sim.run_for(0.05)
+
+    benchmark(one_packet)
+    assert router.datapath.cache_hits > hits_before
+    benchmark.extra_info["path"] = "cache hit + 4 header rewrites"

@@ -1,0 +1,99 @@
+"""Experiment F2 — Figure 2: the network artifact's three modes.
+
+Regenerates the artifact's behaviour series:
+
+* Mode 1 — LEDs lit vs position as the probe is carried through the house
+  (monotone decrease with distance/walls);
+* Mode 2 — animation speed at idle vs under streaming load (speed tracks
+  utilisation relative to the last-day peak);
+* Mode 3 — green/blue flashes on DHCP grant/revoke.
+
+The benchmarked quantity is the artifact's tick (its "Arduino loop"),
+which must be cheap enough to run at 10 Hz alongside the router.
+"""
+
+from repro.ui.artifact import (
+    MODE_BANDWIDTH,
+    MODE_EVENTS,
+    MODE_SIGNAL,
+    NetworkArtifact,
+)
+
+
+def make_artifact(household):
+    sim, router, _devices = household
+    return NetworkArtifact(
+        sim, router.bus, router.aggregator, radio=router.radio, db=router.db
+    )
+
+
+def test_fig2_mode1_rssi_walk(benchmark, household):
+    sim, router, _devices = household
+    artifact = make_artifact(household)
+    artifact.set_mode(MODE_SIGNAL)
+
+    positions = [(1, 1), (4, 3), (8, 6), (14, 10), (20, 15), (28, 22)]
+    series = []
+
+    def walk():
+        series.clear()
+        for position in positions:
+            rssi = artifact.move(position)
+            artifact.tick()
+            series.append((position, rssi, artifact.strip.lit_count()))
+        return series
+
+    benchmark(walk)
+    print("\n=== Figure 2 / Mode 1: carrying the artifact through the house ===")
+    for position, rssi, lit in series:
+        print(f"  {str(position):>10}  rssi={rssi:7.1f} dBm  leds={lit:2d}  "
+              + "#" * lit)
+    lit_counts = [lit for _p, _r, lit in series]
+    # Shape: LEDs lit never increase as we walk away from the hub.
+    assert lit_counts == sorted(lit_counts, reverse=True)
+    assert lit_counts[0] > lit_counts[-1]
+    benchmark.extra_info["led_series"] = lit_counts
+
+
+def test_fig2_mode2_speed_vs_load(benchmark, household):
+    sim, router, _devices = household
+    artifact = make_artifact(household)
+    artifact.set_mode(MODE_BANDWIDTH)
+
+    benchmark(artifact.tick)
+    busy_speed = artifact.current_speed
+    idle_speed = artifact.base_speed
+    print("\n=== Figure 2 / Mode 2: animation speed vs bandwidth ===")
+    print(f"  idle baseline: {idle_speed:5.1f} LEDs/s")
+    print(f"  under load   : {busy_speed:5.1f} LEDs/s "
+          f"(utilisation {router.aggregator.utilisation():4.2f})")
+    # Shape: activity must animate faster than the idle baseline.
+    assert busy_speed > idle_speed
+    benchmark.extra_info["idle_speed"] = idle_speed
+    benchmark.extra_info["busy_speed"] = busy_speed
+
+
+def test_fig2_mode3_lease_flashes(benchmark, household):
+    sim, router, _devices = household
+    artifact = make_artifact(household)
+    artifact.set_mode(MODE_EVENTS)
+    artifact.start()
+
+    joiner = router.add_device("bench-phone", "02:aa:00:00:00:99")
+    joiner.start_dhcp()
+    sim.run_for(3.0)
+    joiner.release_dhcp()
+    sim.run_for(3.0)
+    artifact.stop()
+
+    labels = [label for _t, label in artifact.flash_history]
+    print("\n=== Figure 2 / Mode 3: DHCP activity flashes ===")
+    for when, label in artifact.flash_history:
+        print(f"  t={when:8.2f}s  {label} flash x3")
+    assert "green" in labels  # lease granted
+    assert "blue" in labels  # lease revoked
+    benchmark.extra_info["flashes"] = labels
+
+    # The benchmarked quantity: one event-mode tick with a queued flash.
+    artifact._flash_queue.append(((0, 255, 0), 3))
+    benchmark(artifact.tick)

@@ -1,0 +1,189 @@
+"""Experiment T1 — hwdb performance (companion IM'11 system).
+
+The defining property of hwdb is its fixed-size memory buffer: insert is
+an O(1) ring write regardless of history, and windowed queries touch only
+retained rows.  This bench reports:
+
+* insert throughput, flat across buffer occupancy (the shape claim);
+* windowed query latency vs window size;
+* subscription fan-out cost (many subscribers on one table);
+* the RPC round-trip overhead over raw queries.
+"""
+
+import pytest
+
+from repro.core.clock import SimulatedClock
+from repro.hwdb.database import HomeworkDatabase
+from repro.hwdb.rpc import HwdbClient, LocalTransport, RpcServer
+from repro.sim.simulator import Simulator
+
+ROWS = [
+    ("10.2.0.6", "31.13.72.36", 6, 50000, 443, "02:aa:00:00:00:01", 10, 4096),
+    ("10.2.0.10", "142.250.180.14", 6, 50001, 443, "02:aa:00:00:00:02", 20, 9000),
+]
+
+SCHEMA = [
+    ("src_ip", "ipaddr"),
+    ("dst_ip", "ipaddr"),
+    ("proto", "integer"),
+    ("src_port", "integer"),
+    ("dst_port", "integer"),
+    ("src_mac", "macaddr"),
+    ("packets", "integer"),
+    ("bytes", "integer"),
+]
+
+
+def make_db(capacity=4096, prefill=0):
+    clock = SimulatedClock()
+    db = HomeworkDatabase(clock, default_capacity=capacity)
+    db.create_table("flows", SCHEMA, capacity)
+    for i in range(prefill):
+        clock.advance(0.01)
+        db.insert("flows", ROWS[i % 2])
+    return clock, db
+
+
+def test_t1_insert_throughput(benchmark):
+    clock, db = make_db()
+    row = ROWS[0]
+
+    def insert_100():
+        for _ in range(100):
+            clock.advance(0.001)
+            db.insert("flows", row)
+
+    benchmark(insert_100)
+    benchmark.extra_info["rows_per_op"] = 100
+
+
+@pytest.mark.parametrize("occupancy", [0, 2048, 4096, 65536])
+def test_t1_insert_flat_with_history(benchmark, occupancy):
+    """Shape claim: O(1) insert — cost does not grow with rows inserted.
+
+    65536 inserts into a 4096-slot ring has overwritten 15x over; the
+    per-insert cost must match the empty-table case.
+    """
+    clock, db = make_db(capacity=4096, prefill=occupancy)
+    row = ROWS[1]
+
+    def insert_one():
+        clock.advance(0.001)
+        db.insert("flows", row)
+
+    benchmark(insert_one)
+    benchmark.extra_info["prefill"] = occupancy
+    benchmark.extra_info["overwritten"] = db.table("flows").overwritten
+
+
+@pytest.mark.parametrize("window", [1, 10, 60])
+def test_t1_windowed_query_cost(benchmark, window):
+    """Query latency grows with the window's row count, not table size."""
+    clock, db = make_db(capacity=8192, prefill=6000)  # 0.01 s apart
+    query = (
+        f"SELECT src_mac, sum(bytes) AS b FROM flows [RANGE {window} SECONDS] "
+        f"GROUP BY src_mac"
+    )
+    result = benchmark(db.query, query)
+    benchmark.extra_info["window_s"] = window
+    benchmark.extra_info["rows_scanned"] = int(
+        db.query(f"SELECT count(*) FROM flows [RANGE {window} SECONDS]").scalar()
+    )
+    assert len(result) <= 2
+
+
+def test_t1_join_query_cost(benchmark):
+    clock, db = make_db(capacity=4096, prefill=1000)
+    db.create_table("leases", [("mac", "macaddr"), ("ip", "ipaddr")], 64)
+    db.insert("leases", {"mac": "02:aa:00:00:00:01", "ip": "10.2.0.6"})
+    db.insert("leases", {"mac": "02:aa:00:00:00:02", "ip": "10.2.0.10"})
+    query = (
+        "SELECT l.mac, sum(f.bytes) AS b FROM flows [ROWS 200] f, leases l "
+        "WHERE f.src_ip = l.ip GROUP BY l.mac"
+    )
+    result = benchmark(db.query, query)
+    assert len(result) == 2
+
+
+def test_t1_subscription_fanout(benchmark):
+    """50 subscribers re-evaluated against one table."""
+    sim = Simulator(seed=1)
+    db = HomeworkDatabase(sim.clock, default_capacity=4096)
+    db.attach_scheduler(sim)
+    db.create_table("flows", SCHEMA, 4096)
+    for i in range(500):
+        sim.clock.advance(0.01)
+        db.insert("flows", ROWS[i % 2])
+    sink = []
+    subscriptions = [
+        db.subscribe(
+            "SELECT count(*) FROM flows [RANGE 2 SECONDS]",
+            interval=1.0,
+            callback=sink.append,
+            start=False,
+        )
+        for _ in range(50)
+    ]
+
+    def fire_all():
+        for subscription in subscriptions:
+            subscription.fire()
+
+    benchmark(fire_all)
+    benchmark.extra_info["subscribers"] = len(subscriptions)
+    assert sink
+
+
+def test_t1_rpc_overhead(benchmark):
+    """The UDP-style RPC adds encode/decode on top of the raw query."""
+    clock, db = make_db(capacity=4096, prefill=1000)
+    client = HwdbClient(LocalTransport(RpcServer(db)))
+    query = "SELECT src_mac, sum(bytes) AS b FROM flows [ROWS 100] GROUP BY src_mac"
+    result = benchmark(client.query, query)
+    assert len(result) == 2
+
+
+def test_t1_rpc_over_the_wire(benchmark):
+    """The genuine UDP path: client datagram → datapath → gateway → back.
+
+    Shape claim: wire transport adds network latency on top of the RPC
+    encode/decode, so over-the-wire >> in-process (previous bench).
+    """
+    from repro import HomeworkRouter, RouterConfig
+    from repro.hwdb.udp_gateway import RemoteHwdbClient
+    from tests.conftest import join_device
+
+    sim = Simulator(seed=2)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    gateway_ip = router.enable_rpc_gateway()
+    station = join_device(router, "station", "02:aa:00:00:00:06")
+    client = RemoteHwdbClient(station, gateway_ip)
+
+    def remote_query():
+        results = []
+        client.query(
+            "SELECT count(*) FROM flows",
+            lambda result, error: results.append(result),
+        )
+        sim.run_for(1.0)
+        assert results and results[0] is not None
+
+    benchmark(remote_query)
+    benchmark.extra_info["path"] = "UDP datagrams through the datapath"
+
+
+def test_t1_memory_bound_respected(benchmark):
+    """The whole point of the ring: unbounded input, bounded retention."""
+    clock, db = make_db(capacity=1024)
+    row = ROWS[0]
+
+    def insert_5000():
+        for _ in range(5000):
+            clock.advance(0.0001)
+            db.insert("flows", row)
+        return len(db.table("flows"))
+
+    retained = benchmark(insert_5000)
+    assert retained == 1024
+    benchmark.extra_info["retained"] = retained

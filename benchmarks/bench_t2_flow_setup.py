@@ -1,0 +1,137 @@
+"""Experiment T2 — datapath lookup tiers and flow-setup cost.
+
+The OVS-style architecture's defining shape: the kernel exact-match
+cache is far cheaper than the userspace wildcard table, which is far
+cheaper than a controller round trip.  Reports per-path packet cost and
+the two-tier-vs-single-table ablation called out in DESIGN.md §5.
+"""
+
+import itertools
+
+import pytest
+
+from repro.net import ETH_TYPE_IPV4, Ethernet, IPv4, PROTO_TCP, TCP
+from repro.nox.controller import Controller
+from repro.nox.l2_learning import L2LearningSwitch
+from repro.openflow.actions import output
+from repro.openflow.channel import SecureChannel
+from repro.openflow.datapath import Datapath
+from repro.openflow.flow_table import FlowEntry
+from repro.openflow.match import Match
+from repro.sim.simulator import Simulator
+
+_sport = itertools.count(20000)
+
+
+def frame_bytes(sport=50000, dport=443):
+    return Ethernet(
+        "02:00:00:00:00:02",
+        "02:00:00:00:00:01",
+        ETH_TYPE_IPV4,
+        IPv4("10.2.0.6", "31.13.72.36", proto=PROTO_TCP, payload=TCP(sport, dport)),
+    ).pack()
+
+
+def make_datapath(enable_cache=True, wildcard_rules=0):
+    sim = Simulator(seed=1)
+    dp = Datapath(sim, enable_cache=enable_cache)
+    dp.add_port("in")
+    dp.add_port("out")
+    # Distractor wildcard rules so the linear scan has work to do.
+    for i in range(wildcard_rules):
+        dp.table.add(
+            FlowEntry(Match(tp_dst=10000 + i), output(2), priority=100 + i)
+        )
+    return sim, dp
+
+
+def test_t2_exact_cache_hit(benchmark):
+    sim, dp = make_datapath(wildcard_rules=100)
+    dp.handle_message_rule = dp.table.add(
+        FlowEntry(Match(tp_dst=443), output(2), priority=50)
+    )
+    raw = frame_bytes()
+    dp.process_frame(raw, 1)  # populate the microflow cache
+    assert dp.cache_len() == 1
+
+    benchmark(dp.process_frame, raw, 1)
+    benchmark.extra_info["path"] = "kernel exact-match cache"
+    assert dp.misses == 0
+
+
+def test_t2_wildcard_table_hit(benchmark):
+    sim, dp = make_datapath(enable_cache=False, wildcard_rules=100)
+    dp.table.add(FlowEntry(Match(tp_dst=443), output(2), priority=50))
+    raw = frame_bytes()
+
+    benchmark(dp.process_frame, raw, 1)
+    benchmark.extra_info["path"] = "userspace wildcard table (100 rules)"
+    assert dp.misses == 0
+
+
+def test_t2_controller_miss(benchmark):
+    """Table miss -> punt -> L2-learning -> flow-mod, full round trip."""
+    sim, dp = make_datapath()
+    channel = SecureChannel(sim, latency=0.0005)
+    controller = Controller(sim)
+    channel.connect(dp, controller.receive)
+    controller.connect(channel)
+    controller.add_component(L2LearningSwitch, idle_timeout=0.0)
+    ports = itertools.count(1)
+
+    def miss_and_setup():
+        # Fresh source port -> guaranteed table miss.
+        raw = frame_bytes(sport=next(_sport))
+        dp.process_frame(raw, 1)
+        sim.run_for(0.01)  # let the channel + controller respond
+
+    benchmark(miss_and_setup)
+    benchmark.extra_info["path"] = "controller round trip"
+    assert dp.packet_ins_sent > 0
+
+
+@pytest.mark.parametrize("rules", [10, 100, 1000])
+def test_t2_wildcard_scan_scales_with_rules(benchmark, rules):
+    """Ablation: single-table lookup degrades linearly with rule count;
+    the exact-match tier (previous bench) is immune."""
+    sim, dp = make_datapath(enable_cache=False, wildcard_rules=rules)
+    # The matching rule sits at the lowest priority: worst-case scan.
+    dp.table.add(FlowEntry(Match(tp_dst=443), output(2), priority=1))
+    raw = frame_bytes()
+    benchmark(dp.process_frame, raw, 1)
+    benchmark.extra_info["rules"] = rules
+
+
+def test_t2_cache_ablation_throughput(benchmark):
+    """Two-tier vs single-table on a steady 5-flow workload."""
+    sim, dp = make_datapath(enable_cache=True, wildcard_rules=50)
+    dp.table.add(FlowEntry(Match(tp_dst=443), output(2), priority=1))
+    frames = [frame_bytes(sport=50000 + i) for i in range(5)]
+    for raw in frames:
+        dp.process_frame(raw, 1)  # warm the cache
+
+    def burst():
+        for raw in frames:
+            dp.process_frame(raw, 1)
+
+    benchmark(burst)
+    benchmark.extra_info["cache_entries"] = dp.cache_len()
+    assert dp.cache_hits > 0
+
+
+def test_t2_rewrite_cost(benchmark):
+    """MAC-rewrite actions force a parse/serialise per packet."""
+    from repro.openflow.actions import route_rewrite
+
+    sim, dp = make_datapath()
+    dp.table.add(
+        FlowEntry(
+            Match(tp_dst=443),
+            route_rewrite("02:00:00:00:00:01", "02:aa:00:00:00:02", 2),
+            priority=50,
+        )
+    )
+    raw = frame_bytes()
+    dp.process_frame(raw, 1)
+    benchmark(dp.process_frame, raw, 1)
+    benchmark.extra_info["path"] = "cache hit + MAC rewrite"

@@ -1,0 +1,141 @@
+"""Experiment T3 — DHCP server performance and the isolation ablation.
+
+Reports:
+
+* lease-storm behaviour: N devices joining at once, time until all bound;
+* per-allocation cost of the isolating /30 pool vs the flat pool
+  (DESIGN.md §5 ablation) — isolation costs ~nothing at allocation time
+  while buying the all-traffic-visible invariant;
+* renewal churn handling.
+"""
+
+import itertools
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
+from repro.services.dhcp.pool import FlatPool, IsolatingPool
+
+_mac = itertools.count(1)
+
+
+def fresh_mac():
+    return MACAddress(0x02CC00000000 + next(_mac))
+
+
+@pytest.mark.parametrize("devices", [5, 20])
+def test_t3_lease_storm(benchmark, devices):
+    """N devices power on simultaneously (router reboot scenario)."""
+
+    def storm():
+        sim = Simulator(seed=13)
+        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+        router.start()
+        hosts = []
+        for i in range(devices):
+            host = router.add_device(f"dev{i}", fresh_mac())
+            hosts.append(host)
+        for host in hosts:
+            host.start_dhcp()
+        sim.run_for(10.0)
+        bound = sum(1 for h in hosts if h.ip is not None)
+        return bound, sim.now
+
+    bound, _now = benchmark(storm)
+    assert bound == devices
+    benchmark.extra_info["devices"] = devices
+    benchmark.extra_info["all_bound"] = True
+
+
+def test_t3_isolating_pool_allocation(benchmark):
+    pool = IsolatingPool(IPv4Network("10.0.0.0/12"))
+
+    def allocate():
+        pool.allocate(fresh_mac())
+
+    benchmark(allocate)
+    benchmark.extra_info["pool"] = "isolating /30 per device"
+
+
+def test_t3_flat_pool_allocation(benchmark):
+    pool = FlatPool(IPv4Network("10.0.0.0/12"), IPv4Address("10.0.0.1"))
+
+    def allocate():
+        pool.allocate(fresh_mac())
+
+    benchmark(allocate)
+    benchmark.extra_info["pool"] = "flat shared subnet"
+
+
+def test_t3_isolation_invariant_vs_flat(benchmark):
+    """The ablation's point: flat pools leave devices on-link with each
+    other (router-invisible traffic); isolating pools never do."""
+    isolating = IsolatingPool(IPv4Network("10.0.0.0/16"))
+    flat = FlatPool(IPv4Network("192.168.1.0/24"), IPv4Address("192.168.1.1"))
+    iso_allocations = [isolating.allocate(fresh_mac()) for _ in range(20)]
+    flat_allocations = [flat.allocate(fresh_mac()) for _ in range(20)]
+
+    def check_pairs():
+        iso_onlink = sum(
+            1
+            for a in iso_allocations
+            for b in iso_allocations
+            if a is not b and b.ip in a.network
+        )
+        flat_onlink = sum(
+            1
+            for a in flat_allocations
+            for b in flat_allocations
+            if a is not b and b.ip in a.network
+        )
+        return iso_onlink, flat_onlink
+
+    iso_onlink, flat_onlink = benchmark(check_pairs)
+    assert iso_onlink == 0  # the paper's guarantee
+    assert flat_onlink == 20 * 19  # every pair on-link
+    benchmark.extra_info["isolating_onlink_pairs"] = iso_onlink
+    benchmark.extra_info["flat_onlink_pairs"] = flat_onlink
+
+
+def test_t3_server_handles_renew_churn(benchmark):
+    """Sustained renewals from a full house (short leases)."""
+    sim = Simulator(seed=14)
+    router = HomeworkRouter(
+        sim, config=RouterConfig(default_permit=True, lease_time=4.0)
+    )
+    router.start()
+    hosts = [router.add_device(f"dev{i}", fresh_mac()) for i in range(10)]
+    for host in hosts:
+        host.start_dhcp()
+    sim.run_for(5.0)
+    assert all(h.ip is not None for h in hosts)
+
+    def churn_10s():
+        acks_before = router.dhcp.acks
+        sim.run_for(10.0)
+        return router.dhcp.acks - acks_before
+
+    renewals = benchmark(churn_10s)
+    assert renewals > 0
+    benchmark.extra_info["renewals_per_10s"] = renewals
+
+
+def test_t3_pending_detection_latency(benchmark):
+    """Default-deny: how quickly an unknown device surfaces as pending."""
+
+    def detect():
+        sim = Simulator(seed=15)
+        router = HomeworkRouter(sim)
+        router.start()
+        host = router.add_device("stranger", fresh_mac())
+        events = []
+        router.bus.subscribe("dhcp.device.pending", events.append)
+        start = sim.now
+        host.start_dhcp(retry_interval=0)
+        sim.run_for(1.0)
+        assert events
+        return events[0].timestamp - start
+
+    latency = benchmark(detect)
+    benchmark.extra_info["sim_detection_latency_s"] = latency

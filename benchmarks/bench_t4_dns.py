@@ -1,0 +1,131 @@
+"""Experiment T4 — DNS proxy overhead and policy enforcement cost.
+
+Reports the proxy's lookup paths (cache hit vs upstream), the cost of a
+blocked name (cheaper: no upstream trip), and flow-admission checks —
+including the reverse-lookup path for flows "not matching previously
+requested names".  Shape claims: cached < upstream; admission of a
+previously-resolved flow is a dictionary hit; blocking adds no per-packet
+cost after the drop flow installs.
+"""
+
+import itertools
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+
+from tests.conftest import join_device
+
+_names = itertools.count(1)
+
+
+def build():
+    sim = Simulator(seed=17)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    host = join_device(router, "laptop", "02:aa:00:00:00:01")
+    return sim, router, host
+
+
+def _resolve(sim, host, name):
+    outcome = []
+    host.dns_cache.clear()
+    host.resolve(name, lambda ip, rcode: outcome.append((ip, rcode)))
+    sim.run_for(1.0)
+    return outcome[0]
+
+
+def test_t4_uncached_lookup(benchmark):
+    sim, router, host = build()
+
+    def lookup_fresh():
+        # A unique name per iteration defeats every cache.
+        name = f"site{next(_names)}.example.io"
+        router.cloud.add_site(name, "198.51.100.7")
+        return _resolve(sim, host, name)
+
+    ip, rcode = benchmark(lookup_fresh)
+    assert ip is not None
+    benchmark.extra_info["path"] = "proxy -> upstream resolver"
+
+
+def test_t4_cached_lookup(benchmark):
+    sim, router, host = build()
+    _resolve(sim, host, "facebook.com")  # warm the proxy's cache
+
+    def lookup_cached():
+        return _resolve(sim, host, "facebook.com")
+
+    ip, _rcode = benchmark(lookup_cached)
+    assert ip is not None
+    assert router.dns_proxy.cache_answers > 0
+    benchmark.extra_info["path"] = "proxy cache hit"
+
+
+def test_t4_blocked_lookup(benchmark):
+    sim, router, host = build()
+    router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+
+    def lookup_blocked():
+        return _resolve(sim, host, "www.youtube.com")
+
+    ip, rcode = benchmark(lookup_blocked)
+    assert ip is None and rcode == 3
+    benchmark.extra_info["path"] = "blocked -> NXDOMAIN (no upstream trip)"
+
+
+def test_t4_flow_admission_known_binding(benchmark):
+    """Flow to an address the device resolved through us: a dict hit."""
+    sim, router, host = build()
+    ip, _ = _resolve(sim, host, "facebook.com")
+    verdict = benchmark(router.dns_proxy.check_flow, host.ip, ip)
+    assert verdict == "allowed"
+    benchmark.extra_info["path"] = "requested-names hit"
+
+
+def test_t4_flow_admission_reverse_lookup(benchmark):
+    """Flow not matching a requested name: reverse lookup + filter."""
+    sim, router, host = build()
+    router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+    youtube = router.cloud.lookup("www.youtube.com")
+
+    def admit():
+        # Clear the learned binding so every iteration reverse-looks-up.
+        router.dns_proxy.requested.forget_device(host.ip)
+        return router.dns_proxy.check_flow(host.ip, youtube)
+
+    verdict = benchmark(admit)
+    assert verdict == "blocked"
+    benchmark.extra_info["path"] = "reverse lookup + filter decision"
+
+
+def test_t4_blocked_flow_amortised(benchmark):
+    """After the drop flow installs, blocked packets cost a cache hit."""
+    sim, router, host = build()
+    router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+    youtube = router.cloud.lookup("www.youtube.com")
+    conn = host.tcp_connect(youtube, 443)  # triggers drop-flow install
+    sim.run_for(1.0)
+    checks_before = router.dns_proxy.flow_checks
+
+    def retry_packet():
+        conn._send_segment(0x02)  # re-fire the SYN into the drop flow
+        sim.run_for(0.01)
+
+    benchmark(retry_packet)
+    # The drop flow absorbs retries without further proxy consultation.
+    assert router.dns_proxy.flow_checks == checks_before
+    benchmark.extra_info["path"] = "installed drop flow (no proxy cost)"
+
+
+def test_t4_proxy_throughput_queries_per_second(benchmark):
+    """Sustained mixed query load through the proxy."""
+    sim, router, host = build()
+    sites = ["facebook.com", "www.youtube.com", "bbc.co.uk", "mail.example.org"]
+    _resolve(sim, host, sites[0])
+
+    rotation = itertools.cycle(sites)
+
+    def one_query():
+        _resolve(sim, host, next(rotation))
+
+    benchmark(one_query)
+    benchmark.extra_info["queries_seen"] = router.dns_proxy.queries_seen

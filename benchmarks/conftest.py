@@ -1,0 +1,47 @@
+"""Shared scenario builders for the benchmark harness.
+
+Each bench regenerates one of the paper's figures/tables (see DESIGN.md's
+experiment index).  Wall-clock timings come from pytest-benchmark; the
+figure *content* (the rows/series the paper shows) is printed so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces each artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.sim.traffic import IoTTelemetry, MailSync, VideoStreaming, WebBrowsing
+
+
+def build_household(seed: int = 7, traffic_seconds: float = 40.0):
+    """The standard 4-device household with a realistic traffic mix."""
+    sim = Simulator(seed=seed)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    laptop = router.add_device(
+        "toms-air", "02:aa:00:00:00:01", wireless=True, position=(4, 3)
+    )
+    tv = router.add_device("living-room-tv", "02:aa:00:00:00:02")
+    desk = router.add_device("workstation", "02:aa:00:00:00:03")
+    sensor = router.add_device(
+        "door-sensor", "02:aa:00:00:00:04", wireless=True, position=(9, 1)
+    )
+    for host in (laptop, tv, desk, sensor):
+        host.start_dhcp()
+    sim.run_for(5.0)
+    generators = [
+        WebBrowsing(laptop),
+        VideoStreaming(tv),
+        MailSync(desk),
+        IoTTelemetry(sensor),
+    ]
+    for delay, generator in enumerate(generators):
+        generator.start(0.2 + delay * 0.3)
+    sim.run_for(traffic_seconds)
+    return sim, router, {"laptop": laptop, "tv": tv, "desk": desk, "sensor": sensor}
+
+
+@pytest.fixture(scope="module")
+def household():
+    return build_household()

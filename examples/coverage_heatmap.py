@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Wireless coverage mapping with the network artifact (Figure 2, Mode 1).
+
+"The first mode seeks to allow people to use the artifact to uncover the
+wireless topology of the house."  This example does exactly that: it
+defines a floor plan with walls, sweeps the artifact over a grid, and
+prints an ASCII heatmap of LED counts — the house's signal landscape as
+a resident would discover it by walking around.
+
+Run:  python examples/coverage_heatmap.py
+"""
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.ui.artifact import MODE_SIGNAL, NetworkArtifact
+
+# LED count → heat glyph (denser = stronger signal).
+GLYPHS = " .:-=+*#%@"
+
+
+def main() -> None:
+    sim = Simulator(seed=5)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+
+    # The floor plan: router (AP) in the study, two internal walls and a
+    # party wall to the garage.
+    radio = router.radio
+    radio.ap_position = (3.0, 3.0)
+    radio.add_wall((8.0, 0.0), (8.0, 7.0))    # hallway wall
+    radio.add_wall((0.0, 9.0), (12.0, 9.0))   # upstairs floor
+    radio.add_wall((15.0, 0.0), (15.0, 14.0))  # garage party wall
+
+    artifact = NetworkArtifact(
+        sim, router.bus, router.aggregator, radio=radio, db=router.db
+    )
+    artifact.set_mode(MODE_SIGNAL)
+
+    width, height, step = 22, 14, 1.0
+    print(f"AP at {radio.ap_position}; walls at x=8, y=9, x=15")
+    print("signal heatmap (LEDs lit per position, '@'=all 12, ' '=none):\n")
+    header = "    " + "".join(f"{x:>2}" for x in range(0, width, 2))
+    print(header)
+    for yy in range(height):
+        row = []
+        for xx in range(width):
+            artifact.move((xx * step, yy * step))
+            artifact.tick()
+            lit = artifact.strip.lit_count()
+            glyph = GLYPHS[min(len(GLYPHS) - 1, lit * (len(GLYPHS) - 1) // artifact.strip.count)]
+            row.append(glyph)
+        marker = " <- AP row" if int(radio.ap_position[1]) == yy else ""
+        print(f"{yy:>3} " + "".join(row) + marker)
+
+    # Walk a specific route and show the readings a resident would see.
+    print("\ncarrying the artifact from the study to the garage:")
+    route = [(3, 3), (6, 3), (9, 3), (12, 3), (16, 3), (20, 3)]
+    for position in route:
+        rssi = artifact.move(position)
+        artifact.tick()
+        print(f"  {str(position):>8}: rssi={rssi:7.1f} dBm  {artifact.strip.render()}")
+
+
+if __name__ == "__main__":
+    main()

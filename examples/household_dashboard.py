@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Figures 1 & 2: the household dashboard and the network artifact.
+
+Simulates an evening of family traffic — web browsing on the laptop,
+streaming on the TV, mail on the workstation, an IoT sensor — then
+renders:
+
+* the iPhone bandwidth view (per-device, then per-protocol drill-down);
+* the Arduino artifact in each of its three modes, including carrying it
+  around the house to map wireless coverage (Mode 1).
+
+Run:  python examples/household_dashboard.py
+"""
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.sim.traffic import IoTTelemetry, MailSync, VideoStreaming, WebBrowsing
+from repro.ui.artifact import MODE_BANDWIDTH, MODE_EVENTS, MODE_SIGNAL, NetworkArtifact
+from repro.ui.bandwidth_view import BandwidthView
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+
+    # The household.
+    laptop = router.add_device(
+        "toms-air", "02:aa:00:00:00:01", wireless=True, position=(4, 3)
+    )
+    tv = router.add_device("living-room-tv", "02:aa:00:00:00:02")
+    desk = router.add_device("workstation", "02:aa:00:00:00:03")
+    sensor = router.add_device(
+        "door-sensor", "02:aa:00:00:00:04", wireless=True, position=(9, 1)
+    )
+    for host in (laptop, tv, desk, sensor):
+        host.start_dhcp()
+    sim.run_for(5.0)
+
+    # Name the devices like the control UI would.
+    router.control_api.request(
+        "PUT", f"/devices/{laptop.mac}/metadata", {"name": "Tom's Mac Air"}
+    )
+
+    # The evening's traffic mix.
+    WebBrowsing(laptop).start(0.5)
+    VideoStreaming(tv).start(1.0)
+    MailSync(desk).start(2.0)
+    IoTTelemetry(sensor).start(0.2)
+    print("simulating 60 seconds of household traffic...")
+    sim.run_for(60.0)
+
+    # --- Figure 1: per-device bandwidth, then drill into the laptop -----
+    view = BandwidthView(router.aggregator, sim, window=30.0)
+    view.refresh()
+    print("\n=== Figure 1 (left): bandwidth per machine ===")
+    print(view.render())
+    view.select_device(laptop.mac)
+    print("\n=== Figure 1 (right): Tom's Mac Air by protocol ===")
+    print(view.render())
+
+    # --- Figure 2: the artifact -------------------------------------------
+    artifact = NetworkArtifact(
+        sim, router.bus, router.aggregator, radio=router.radio, db=router.db
+    )
+    artifact.start()
+
+    print("\n=== Figure 2 Mode 1: walking the artifact through the house ===")
+    artifact.set_mode(MODE_SIGNAL)
+    for position in [(1, 1), (5, 4), (10, 8), (16, 12), (24, 18)]:
+        rssi = artifact.move(position)
+        sim.run_for(0.5)
+        print(f"  at {str(position):>9}: rssi={rssi:6.1f} dBm  {artifact.strip.render()}")
+
+    print("\n=== Figure 2 Mode 2: animation speed follows utilisation ===")
+    artifact.set_mode(MODE_BANDWIDTH)
+    sim.run_for(1.0)
+    print(f"  with streaming running: {artifact.current_speed:5.1f} LEDs/s "
+          f"{artifact.strip.render()}")
+
+    print("\n=== Figure 2 Mode 3: DHCP lease flashes ===")
+    artifact.set_mode(MODE_EVENTS)
+    guest = router.add_device("guest-phone", "02:aa:00:00:00:09")
+    guest.start_dhcp()
+    sim.run_for(3.0)
+    for when, label in artifact.flash_history[-3:]:
+        print(f"  t={when:7.2f}s  {label} flash")
+    print(f"  strip now: {artifact.strip.render()}")
+
+
+if __name__ == "__main__":
+    main()

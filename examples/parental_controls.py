@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Figures 3 & 4: the control interface and the cartoon policy language.
+
+Acts out the paper's worked example: a new device knocks and is admitted
+by drag-and-drop; then "the kids can only use Facebook on weekdays after
+they've finished their homework" is composed in the cartoon editor and
+physically mediated by the parent's USB key.
+
+Run:  python examples/parental_controls.py
+"""
+
+from repro import HomeworkRouter, Simulator
+from repro.policy.schedule import SECONDS_PER_DAY
+from repro.services.udev.usbkey import UsbKey
+from repro.ui.control_ui import ControlInterface
+from repro.ui.policy_ui import PolicyInterface
+
+
+def resolve(host, name, sim):
+    """Resolve a name and report the proxy's verdict."""
+    outcome = []
+    host.dns_cache.clear()
+    host.resolve(name, lambda ip, rcode: outcome.append(ip))
+    sim.run_for(1.0)
+    verdict = outcome[0] if outcome and outcome[0] else "BLOCKED (NXDOMAIN)"
+    print(f"    {host.name} resolves {name}: {verdict}")
+    return outcome and outcome[0]
+
+
+def main() -> None:
+    sim = Simulator(seed=77)
+    router = HomeworkRouter(sim)  # default-deny: devices wait for a human
+    router.start()
+    control = ControlInterface(router.control_api, router.bus)
+    policy_ui = PolicyInterface(router.control_api, router.udev)
+
+    # --- Figure 3: drag-and-drop admission -------------------------------
+    print("=== Figure 3: the situated control interface ===")
+    ipad = router.add_device("kids-ipad", "02:aa:00:00:00:03", wireless=True)
+    ipad.start_dhcp()
+    sim.run_for(2.0)
+    control.refresh()
+    print(control.render())
+
+    print("\n  user drags the iPad tab into PERMITTED and names it...")
+    control.drag(ipad.mac, "permitted")
+    control.supply_metadata(ipad.mac, name="Kids' iPad", owner="the kids")
+    sim.run_for(8.0)
+    control.refresh()
+    print(control.render())
+    print(f"\n  iPad now leased {ipad.ip} (gateway {ipad.gateway})")
+
+    # --- Figure 4: the cartoon policy --------------------------------------
+    print("\n=== Figure 4: composing the house rule ===")
+    strip = policy_ui.new_strip("kids: Facebook on weekdays after homework")
+    strip.panel_who(ipad.mac)
+    strip.panel_what("only_these_sites", ["facebook.com"])
+    strip.panel_when("weekdays", "17:00", "22:00")
+    strip.panel_unless("usb_key", "parent-key")
+    print("  cartoon reads:", policy_ui.preview())
+    policy_ui.publish()
+    print(policy_ui.render())
+
+    # Monday 18:30 — restriction active.
+    sim.run_until(18.5 * 3600)
+    print("\nMonday 18:30 (rule active):")
+    resolve(ipad, "facebook.com", sim)
+    resolve(ipad, "www.youtube.com", sim)
+
+    # Parent inserts the USB key — restriction lifted.
+    print("\n  parent inserts the USB key...")
+    key = UsbKey.unlock_key("parent-key")
+    router.udev.insert(key)
+    resolve(ipad, "www.youtube.com", sim)
+
+    print("\n  key removed again...")
+    router.udev.remove(key.label)
+    resolve(ipad, "www.youtube.com", sim)
+
+    # Saturday — the schedule does not match, so no restriction.
+    sim.run_until(5 * SECONDS_PER_DAY + 12 * 3600)
+    print("\nSaturday 12:00 (weekday rule idle):")
+    resolve(ipad, "www.youtube.com", sim)
+
+    print("\nfinal policy board:")
+    policy_ui.refresh()
+    print(policy_ui.render())
+
+
+if __name__ == "__main__":
+    main()

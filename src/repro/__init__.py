@@ -1,0 +1,42 @@
+"""repro — reproduction of the Homework home router (SIGCOMM 2011 demo).
+
+"Supporting Novel Home Network Management Interfaces with OpenFlow and
+NOX", Mortier et al.  The package rebuilds the paper's entire stack in
+pure Python: an OpenFlow datapath and NOX-style controller, the hwdb
+stream database with its CQL variant and RPC, the DHCP server / DNS
+proxy / control API modules, the policy engine with USB mediation, and
+the four demo user interfaces — all running on a deterministic
+discrete-event home-network simulator.
+
+Quick start::
+
+    from repro import Simulator, HomeworkRouter
+
+    sim = Simulator(seed=1)
+    router = HomeworkRouter(sim)
+    laptop = router.add_device("laptop", "02:aa:00:00:00:01", wireless=True)
+    router.start()
+    laptop.start_dhcp()
+    sim.run_for(2)
+    router.permit(laptop)
+    sim.run_for(10)
+    assert laptop.ip is not None
+"""
+
+from .core.config import RouterConfig
+from .core.errors import ReproError
+from .core.events import Event, EventBus
+from .core.router import HomeworkRouter
+from .sim.simulator import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HomeworkRouter",
+    "RouterConfig",
+    "Simulator",
+    "EventBus",
+    "Event",
+    "ReproError",
+    "__version__",
+]

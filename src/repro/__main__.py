@@ -1,0 +1,154 @@
+"""``python -m repro`` — a guided, self-contained demo of the system.
+
+Subcommands::
+
+    python -m repro demo        # the full demo-day walk-through (default)
+    python -m repro figures     # regenerate the four UI figures as text
+    python -m repro stats       # run a household and dump router stats
+
+Each runs entirely in simulated time and prints what the paper's demo
+visitors would have seen.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import HomeworkRouter, RouterConfig, Simulator
+from .hwdb import render_table
+from .sim.traffic import IoTTelemetry, VideoStreaming, WebBrowsing
+from .ui.artifact import MODE_BANDWIDTH, MODE_EVENTS, MODE_SIGNAL, NetworkArtifact
+from .ui.bandwidth_view import BandwidthView
+from .ui.control_ui import ControlInterface
+from .ui.policy_ui import PolicyInterface
+from .services.udev.usbkey import UsbKey
+
+
+def _build_household(seed: int):
+    sim = Simulator(seed=seed)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    laptop = router.add_device(
+        "toms-air", "02:aa:00:00:00:01", wireless=True, position=(4, 3)
+    )
+    tv = router.add_device("living-room-tv", "02:aa:00:00:00:02")
+    ipad = router.add_device(
+        "kids-ipad", "02:aa:00:00:00:03", wireless=True, position=(8, 2)
+    )
+    for host in (laptop, tv, ipad):
+        host.start_dhcp()
+    sim.run_for(5.0)
+    WebBrowsing(laptop).start(0.5)
+    VideoStreaming(tv).start(1.0)
+    IoTTelemetry(ipad).start(0.7)
+    sim.run_for(40.0)
+    return sim, router, laptop, tv, ipad
+
+
+def cmd_demo(seed: int) -> int:
+    print("== Homework router demo (SIGCOMM 2011 reproduction) ==\n")
+    sim, router, laptop, tv, ipad = _build_household(seed)
+
+    print("-- Figure 1: the handheld bandwidth display --")
+    view = BandwidthView(router.aggregator, sim, window=30.0)
+    view.refresh()
+    print(view.render())
+
+    print("\n-- Figure 2: the network artifact --")
+    artifact = NetworkArtifact(
+        sim, router.bus, router.aggregator, radio=router.radio, db=router.db
+    )
+    for mode, label in ((MODE_SIGNAL, "signal"), (MODE_BANDWIDTH, "bandwidth")):
+        artifact.set_mode(mode)
+        artifact.tick()
+        print(f"  mode {mode} ({label}): {artifact.strip.render()}")
+
+    print("\n-- Figure 3: a new device knocks --")
+    control = ControlInterface(router.control_api, router.bus)
+    guest = router.add_device("guest-phone", "02:aa:00:00:00:09")
+    # Guests wait for a human even on a default-permit router: deny-first.
+    router.dhcp.policy.set_state(guest.mac, "pending")
+    guest.start_dhcp(retry_interval=1.0)
+    sim.run_for(1.5)
+    control.refresh()
+    print(control.render())
+    control.drag(guest.mac, "permitted")
+    sim.run_for(3.0)
+    print(f"  after the drag: guest-phone leased {guest.ip}")
+
+    print("\n-- Figure 4: the house rule --")
+    policy_ui = PolicyInterface(router.control_api, router.udev)
+    strip = policy_ui.new_strip("kids: facebook only")
+    strip.panel_who(ipad.mac)
+    strip.panel_what("only_these_sites", ["facebook.com"])
+    strip.panel_unless("usb_key", "parent-key")
+    print("  " + policy_ui.preview())
+    policy_ui.publish()
+    outcome = []
+    ipad.resolve("www.youtube.com", lambda ip, rc: outcome.append(ip))
+    sim.run_for(1.0)
+    print(f"  iPad resolves youtube: {'BLOCKED' if outcome[0] is None else outcome[0]}")
+    router.udev.insert(UsbKey.unlock_key("parent-key"))
+    ipad.dns_cache.clear()
+    outcome2 = []
+    ipad.resolve("www.youtube.com", lambda ip, rc: outcome2.append(ip))
+    sim.run_for(1.0)
+    print(f"  with the parent key inserted: {outcome2[0]}")
+
+    print("\n-- hwdb: the measurement plane --")
+    print(render_table(router.db.query(
+        "SELECT src_mac, sum(bytes) AS bytes FROM flows [RANGE 30 SECONDS] "
+        "GROUP BY src_mac ORDER BY bytes DESC LIMIT 5"
+    )))
+    return 0
+
+
+def cmd_figures(seed: int) -> int:
+    sim, router, laptop, _tv, _ipad = _build_household(seed)
+    view = BandwidthView(router.aggregator, sim, window=30.0)
+    view.refresh()
+    print(view.render())
+    view.select_device(laptop.mac)
+    print(view.render())
+    artifact = NetworkArtifact(
+        sim, router.bus, router.aggregator, radio=router.radio, db=router.db
+    )
+    for mode in (MODE_SIGNAL, MODE_BANDWIDTH, MODE_EVENTS):
+        artifact.set_mode(mode)
+        artifact.tick()
+        print(artifact.render())
+    control = ControlInterface(router.control_api, router.bus)
+    control.refresh()
+    print(control.render())
+    print(PolicyInterface(router.control_api, router.udev).render())
+    return 0
+
+
+def cmd_stats(seed: int) -> int:
+    _sim, router, *_ = _build_household(seed)
+    print(json.dumps(router.stats(), indent=2, default=str))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Homework home router reproduction — guided demos",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="demo",
+        choices=["demo", "figures", "stats"],
+        help="which walk-through to run (default: demo)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="simulation seed")
+    args = parser.parse_args(argv)
+    handlers = {"demo": cmd_demo, "figures": cmd_figures, "stats": cmd_stats}
+    return handlers[args.command](args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

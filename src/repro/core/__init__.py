@@ -1,0 +1,37 @@
+"""Core primitives: clock, event bus, configuration, errors, router façade."""
+
+from .clock import Clock, SimulatedClock, WallClock
+from .config import RouterConfig
+from .errors import (
+    ConfigError,
+    ControllerError,
+    DatapathError,
+    HwdbError,
+    PolicyError,
+    QueryError,
+    ReproError,
+    RpcError,
+    ServiceError,
+    SimulationError,
+)
+from .events import Event, EventBus, Subscription
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "RouterConfig",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "DatapathError",
+    "ControllerError",
+    "HwdbError",
+    "QueryError",
+    "RpcError",
+    "ServiceError",
+    "PolicyError",
+    "Event",
+    "EventBus",
+    "Subscription",
+]

@@ -1,0 +1,78 @@
+"""Router configuration.
+
+One dataclass-style object describing the home deployment: the subnet,
+the router's own addresses, lease policy defaults and service knobs.
+Mirrors what the Homework router reads at boot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..net.addresses import IPv4Address, IPv4Network, MACAddress
+from .errors import ConfigError
+
+
+class RouterConfig:
+    """Configuration for a :class:`~repro.core.router.HomeworkRouter`."""
+
+    def __init__(
+        self,
+        subnet: Union[str, IPv4Network] = "10.2.0.0/16",
+        router_ip: Optional[Union[str, IPv4Address]] = None,
+        router_mac: Union[str, MACAddress] = "02:00:00:00:00:01",
+        upstream_ip: Union[str, IPv4Address] = "82.10.0.1",
+        dns_upstream: Union[str, IPv4Address] = "8.8.8.8",
+        lease_time: float = 3600.0,
+        isolate_devices: bool = True,
+        default_permit: bool = False,
+        hwdb_buffer_rows: int = 4096,
+        flow_poll_interval: float = 1.0,
+        flow_idle_timeout: float = 60.0,
+        control_api_port: int = 8080,
+        control_api_token: str = "homework",
+        nat_enabled: bool = False,
+    ):
+        self.subnet = subnet if isinstance(subnet, IPv4Network) else IPv4Network(subnet)
+        if self.subnet.prefixlen > 24 and isolate_devices:
+            raise ConfigError(
+                "isolating allocation needs a subnet of /24 or wider "
+                f"(got /{self.subnet.prefixlen})"
+            )
+        if router_ip is None:
+            self.router_ip = next(self.subnet.hosts())
+        else:
+            self.router_ip = IPv4Address(router_ip)
+            if self.router_ip not in self.subnet:
+                raise ConfigError(
+                    f"router IP {self.router_ip} outside subnet {self.subnet}"
+                )
+        self.router_mac = MACAddress(router_mac)
+        self.upstream_ip = IPv4Address(upstream_ip)
+        self.dns_upstream = IPv4Address(dns_upstream)
+        if lease_time <= 0:
+            raise ConfigError(f"lease_time must be positive, got {lease_time}")
+        self.lease_time = float(lease_time)
+        self.isolate_devices = bool(isolate_devices)
+        self.default_permit = bool(default_permit)
+        if hwdb_buffer_rows <= 0:
+            raise ConfigError("hwdb_buffer_rows must be positive")
+        self.hwdb_buffer_rows = int(hwdb_buffer_rows)
+        if flow_poll_interval <= 0:
+            raise ConfigError("flow_poll_interval must be positive")
+        self.flow_poll_interval = float(flow_poll_interval)
+        if flow_idle_timeout <= 0:
+            raise ConfigError("flow_idle_timeout must be positive")
+        self.flow_idle_timeout = float(flow_idle_timeout)
+        if not 0 < control_api_port <= 0xFFFF:
+            raise ConfigError(f"bad control_api_port: {control_api_port}")
+        self.control_api_port = int(control_api_port)
+        self.control_api_token = str(control_api_token)
+        self.nat_enabled = bool(nat_enabled)
+
+    def __repr__(self) -> str:
+        return (
+            f"RouterConfig(subnet={self.subnet}, router_ip={self.router_ip}, "
+            f"isolate_devices={self.isolate_devices}, "
+            f"default_permit={self.default_permit})"
+        )

@@ -1,0 +1,131 @@
+"""Publish/subscribe event bus.
+
+The paper's architecture is event-driven end to end: datapath misses
+become NOX packet-in events, DHCP lease changes fan out to hwdb and the
+artifact, and UI actions invoke control handlers.  This bus is the
+in-process backbone tying those pieces together.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
+
+Handler = Callable[["Event"], None]
+
+
+class Event:
+    """A named event with arbitrary keyword data.
+
+    Data fields are exposed as attributes: ``Event("lease.granted",
+    mac=..., ip=...)`` has ``.mac`` and ``.ip``.
+    """
+
+    __slots__ = ("name", "data", "timestamp")
+
+    def __init__(self, name: str, /, timestamp: float = 0.0, **data: Any):
+        self.name = name
+        self.timestamp = timestamp
+        self.data: Dict[str, Any] = data
+
+    def __getattr__(self, key: str) -> Any:
+        try:
+            return self.data[key]
+        except KeyError:
+            raise AttributeError(f"event {self.name!r} has no field {key!r}") from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"Event({self.name!r}, t={self.timestamp:.6f}, {fields})"
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; call ``cancel()``."""
+
+    __slots__ = ("_bus", "_pattern", "_handler", "active")
+
+    def __init__(self, bus: "EventBus", pattern: str, handler: Handler):
+        self._bus = bus
+        self._pattern = pattern
+        self._handler = handler
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self._bus._unsubscribe(self._pattern, self._handler)
+            self.active = False
+
+
+class EventBus:
+    """Synchronous topic-based pub/sub with prefix wildcards.
+
+    Patterns are exact names (``"dhcp.lease.granted"``) or prefixes ending
+    in ``.*`` (``"dhcp.*"`` matches every event under ``dhcp.``). ``"*"``
+    matches everything.  Handlers run synchronously in subscription order;
+    a raising handler is logged and skipped, never breaking the publisher.
+    """
+
+    def __init__(self) -> None:
+        self._exact: Dict[str, List[Handler]] = defaultdict(list)
+        self._prefix: Dict[str, List[Handler]] = defaultdict(list)
+        self._wildcard: List[Handler] = []
+        self._published = 0
+        self._delivered = 0
+
+    def subscribe(self, pattern: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for events matching ``pattern``."""
+        if pattern == "*":
+            self._wildcard.append(handler)
+        elif pattern.endswith(".*"):
+            self._prefix[pattern[:-2]].append(handler)
+        else:
+            self._exact[pattern].append(handler)
+        return Subscription(self, pattern, handler)
+
+    def _unsubscribe(self, pattern: str, handler: Handler) -> None:
+        if pattern == "*":
+            bucket: Optional[List[Handler]] = self._wildcard
+        elif pattern.endswith(".*"):
+            bucket = self._prefix.get(pattern[:-2])
+        else:
+            bucket = self._exact.get(pattern)
+        if bucket and handler in bucket:
+            bucket.remove(handler)
+
+    def publish(self, event: Event) -> int:
+        """Deliver ``event``; returns the number of handlers invoked."""
+        self._published += 1
+        handlers: List[Handler] = []
+        handlers.extend(self._exact.get(event.name, ()))
+        name = event.name
+        while "." in name:
+            name = name.rsplit(".", 1)[0]
+            handlers.extend(self._prefix.get(name, ()))
+        handlers.extend(self._wildcard)
+        count = 0
+        for handler in handlers:
+            try:
+                handler(event)
+                count += 1
+            except Exception:  # noqa: BLE001 - isolate subscriber faults
+                logger.exception("event handler failed for %s", event.name)
+        self._delivered += count
+        return count
+
+    def emit(self, name: str, /, timestamp: float = 0.0, **data: Any) -> int:
+        """Shorthand for ``publish(Event(name, timestamp, **data))``.
+
+        ``name`` is positional-only so it stays usable as an event data
+        field (e.g. DNS events carry a ``name=`` payload key).
+        """
+        return self.publish(Event(name, timestamp, **data))
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"published": self._published, "delivered": self._delivered}

@@ -1,0 +1,308 @@
+"""The Homework router: the whole of paper Figure 5 in one object.
+
+Assembles the software stack of the paper's small-form-factor home
+router: the Open vSwitch-style datapath (``dp0``), the NOX controller
+with the DHCP server / DNS proxy / routing / control API components, the
+hwdb measurement database with its collectors and RPC server, the policy
+engine and the udev USB monitor — all on one discrete-event simulator.
+
+Typical use::
+
+    sim = Simulator(seed=1)
+    router = HomeworkRouter(sim)
+    laptop = router.add_device("toms-air", "02:aa:00:00:00:01", wireless=True)
+    router.start()
+    laptop.start_dhcp()          # pending until permitted
+    router.control_api.request("POST", f"/devices/{laptop.mac}/permit")
+    sim.run_for(10)
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..hwdb.database import HomeworkDatabase
+from ..hwdb.rpc import HwdbClient, LocalTransport, RpcServer
+from ..hwdb.schema import install_standard_schema
+from ..measurement.aggregator import BandwidthAggregator
+from ..measurement.collectors import FlowCollector, LeaseCollector, LinkCollector
+from ..net.addresses import IPv4Address, MACAddress
+from ..nox.controller import Controller
+from ..openflow.channel import SecureChannel
+from ..openflow.datapath import Datapath
+from ..policy.engine import PolicyEngine
+from ..services.control_api.api import ControlApi
+from ..services.dhcp.server import DhcpServer
+from ..services.dnsproxy.proxy import DnsProxy
+from ..services.dnsproxy.upstream import UpstreamResolver
+from ..services.routing import RouterCore
+from ..services.udev.monitor import UdevMonitor
+from ..sim.host import Host
+from ..sim.link import Link, WirelessLink
+from ..sim.simulator import Simulator
+from ..sim.upstream import InternetCloud
+from ..sim.wireless import RadioEnvironment
+from .config import RouterConfig
+from .errors import ConfigError
+
+logger = logging.getLogger(__name__)
+
+
+class HomeworkRouter:
+    """Facade wiring every subsystem of the reproduction together."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[RouterConfig] = None,
+        cloud: Optional[InternetCloud] = None,
+        channel_latency: float = 0.0005,
+        radio: Optional[RadioEnvironment] = None,
+    ):
+        self.sim = sim
+        self.config = config or RouterConfig()
+        self.bus = sim.bus
+
+        # --- datapath + secure channel + NOX --------------------------------
+        self.datapath = Datapath(sim, datapath_id=1, name="dp0")
+        self.channel = SecureChannel(sim, latency=channel_latency)
+        self.controller = Controller(sim)
+        self.channel.connect(self.datapath, self.controller.receive)
+        self.controller.connect(self.channel)
+
+        # --- upstream ---------------------------------------------------------
+        self.cloud = cloud or InternetCloud(sim, ip=self.config.upstream_ip)
+        upstream = self.datapath.add_port("upstream")
+        self.upstream_port = upstream.number
+        self.upstream_link = Link(
+            sim, upstream, self.cloud.port, latency=0.005, bandwidth_bps=100e6
+        )
+        # The cloud routes everything back through the router.
+        router_upstream_ip = IPv4Address(self.config.upstream_ip) + 1
+        self.cloud.netmask = IPv4Address("255.255.255.252")
+        self.cloud.gateway = router_upstream_ip
+
+        # --- hwdb --------------------------------------------------------------
+        self.db = HomeworkDatabase(sim.clock, self.config.hwdb_buffer_rows)
+        install_standard_schema(self.db)
+        self.db.attach_scheduler(sim)
+        self.rpc_server = RpcServer(self.db)
+        self.aggregator = BandwidthAggregator(self.db)
+
+        # --- NOX components (paper's shaded boxes) ------------------------------
+        self.dhcp: DhcpServer = self.controller.add_component(
+            DhcpServer, config=self.config, bus=self.bus
+        )
+        self.upstream_resolver = UpstreamResolver(sim, zone=self.cloud)
+        self.dns_proxy: DnsProxy = self.controller.add_component(
+            DnsProxy,
+            config=self.config,
+            bus=self.bus,
+            upstream=self.upstream_resolver,
+            dhcp=self.dhcp,
+        )
+        self.router_core: RouterCore = self.controller.add_component(
+            RouterCore,
+            config=self.config,
+            bus=self.bus,
+            dhcp=self.dhcp,
+            dns_proxy=self.dns_proxy,
+            upstream_port=self.upstream_port,
+            upstream_mac=self.cloud.mac,
+        )
+        self.policy_engine = PolicyEngine(
+            self.bus,
+            dhcp=self.dhcp,
+            site_filter=self.dns_proxy.filter,
+            router_core=self.router_core,
+        )
+        self.control_api: ControlApi = self.controller.add_component(
+            ControlApi,
+            config=self.config,
+            bus=self.bus,
+            dhcp=self.dhcp,
+            dns_proxy=self.dns_proxy,
+            policy_engine=self.policy_engine,
+            router_core=self.router_core,
+            hwdb=self.db,
+        )
+        self.udev = UdevMonitor(self.control_api, self.bus)
+
+        # --- measurement plane ------------------------------------------------
+        self.flow_collector = FlowCollector(
+            sim, self.controller, self.db, interval=self.config.flow_poll_interval
+        )
+        self.link_collector = LinkCollector(sim, self.db, interval=1.0)
+        self.lease_collector = LeaseCollector(self.bus, self.db)
+
+        # --- wireless environment ----------------------------------------------
+        self.radio = radio or RadioEnvironment(ap_position=(0.0, 0.0))
+
+        self._devices: Dict[str, Host] = {}
+        self._device_links: Dict[str, Link] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Device management
+    # ------------------------------------------------------------------
+
+    def add_device(
+        self,
+        name: str,
+        mac: Union[str, MACAddress],
+        wireless: bool = False,
+        position: Optional[Tuple[float, float]] = None,
+        device_class: str = "generic",
+        bandwidth_bps: Optional[float] = None,
+    ) -> Host:
+        """Attach a household device to the router.
+
+        Wireless devices get a :class:`WirelessLink` whose RSSI tracks
+        their ``position`` in the radio environment; wired devices get a
+        gigabit :class:`Link`.
+        """
+        if name in self._devices:
+            raise ConfigError(f"device {name!r} already attached")
+        host = Host(self.sim, name, mac, device_class=device_class)
+        port = self.datapath.add_port(name)
+        if wireless:
+            link: Link = WirelessLink(
+                self.sim,
+                host.port,
+                port,
+                bandwidth_bps=bandwidth_bps or 54e6,
+            )
+            self.radio.register(name, link, position or (5.0, 5.0))
+        else:
+            link = Link(
+                self.sim, host.port, port, bandwidth_bps=bandwidth_bps or 1e9
+            )
+        self._devices[name] = host
+        self._device_links[name] = link
+        self.link_collector.register(host.mac, link)
+        return host
+
+    def device(self, name: str) -> Host:
+        return self._devices[name]
+
+    def devices(self) -> List[Host]:
+        return list(self._devices.values())
+
+    def device_link(self, name: str) -> Link:
+        return self._device_links[name]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic work: flow expiry, collectors."""
+        if self._started:
+            return
+        self._started = True
+        self.datapath.start_expiry(interval=1.0)
+        self.flow_collector.start()
+        self.link_collector.start()
+        self.policy_engine.start_scheduler(self.sim, interval=30.0)
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self.flow_collector.stop()
+        self.link_collector.stop()
+        self.policy_engine.stop_scheduler()
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+
+    def hwdb_client(self) -> HwdbClient:
+        """A new in-process client for the hwdb RPC (what UIs use)."""
+        return HwdbClient(LocalTransport(self.rpc_server))
+
+    def enable_rpc_gateway(self) -> IPv4Address:
+        """Expose hwdb's RPC on real UDP through the datapath.
+
+        Attaches an internal management station ("hwdbd") to a dedicated
+        datapath port with a pre-bound lease, and binds the RPC server to
+        its UDP port 987.  Returns the address satellite devices dial —
+        the paper's actual transport for the iPhone/Arduino interfaces.
+        """
+        if getattr(self, "rpc_gateway", None) is not None:
+            return self._rpc_gateway_ip
+        from ..hwdb.udp_gateway import HwdbUdpGateway
+
+        mgmt = Host(self.sim, "hwdbd", "02:00:00:00:00:02", device_class="infrastructure")
+        port = self.datapath.add_port("mgmt")
+        Link(self.sim, mgmt.port, port, latency=0.0001, bandwidth_bps=1e9)
+        allocation = self.dhcp.pool.allocate(mgmt.mac)
+        self.dhcp.policy.permit(mgmt.mac, self.sim.now)
+        self.dhcp.leases.offer(
+            mgmt.mac, allocation, "hwdbd", self.sim.now, lease_time=1e12
+        )
+        self.dhcp.leases.bind(mgmt.mac, self.sim.now, lease_time=1e12)
+        mgmt.configure_static(
+            allocation.ip, allocation.netmask, gateway=allocation.gateway
+        )
+        self.router_core.mac_to_port[mgmt.mac] = port.number
+        self.rpc_gateway = HwdbUdpGateway(mgmt, self.rpc_server)
+        self._rpc_gateway_ip = allocation.ip
+        return allocation.ip
+
+    def permit(self, device: Union[str, Host, MACAddress]) -> None:
+        """Shorthand for the control-API permit call."""
+        mac = self._mac_of(device)
+        self.control_api.request("POST", f"/devices/{mac}/permit")
+
+    def deny(self, device: Union[str, Host, MACAddress]) -> None:
+        mac = self._mac_of(device)
+        self.control_api.request("POST", f"/devices/{mac}/deny")
+
+    def _mac_of(self, device: Union[str, Host, MACAddress]) -> MACAddress:
+        if isinstance(device, Host):
+            return device.mac
+        if isinstance(device, str) and device in self._devices:
+            return self._devices[device].mac
+        return MACAddress(device)
+
+    def stats(self) -> Dict[str, object]:
+        """A status snapshot across subsystems."""
+        return {
+            "time": self.sim.now,
+            "datapath": {
+                "flows": len(self.datapath.table),
+                "cache": self.datapath.cache_len(),
+                "cache_hits": self.datapath.cache_hits,
+                "table_hits": self.datapath.table_hits,
+                "misses": self.datapath.misses,
+            },
+            "dhcp": {
+                "discovers": self.dhcp.discovers,
+                "offers": self.dhcp.offers,
+                "acks": self.dhcp.acks,
+                "naks": self.dhcp.naks,
+                "withheld": self.dhcp.withheld,
+                "leases": len(self.dhcp.leases),
+            },
+            "dns": {
+                "queries": self.dns_proxy.queries_seen,
+                "blocked": self.dns_proxy.queries_blocked,
+                "cache_answers": self.dns_proxy.cache_answers,
+                "flow_checks": self.dns_proxy.flow_checks,
+                "flow_blocks": self.dns_proxy.flow_blocks,
+            },
+            "routing": {
+                "flows_installed": self.router_core.flows_installed,
+                "flows_blocked": self.router_core.flows_blocked,
+                "arp_replies": self.router_core.arp_replies,
+            },
+            "hwdb": self.db.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HomeworkRouter(devices={len(self._devices)}, "
+            f"flows={len(self.datapath.table)}, started={self._started})"
+        )

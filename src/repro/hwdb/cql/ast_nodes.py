@@ -1,0 +1,180 @@
+"""AST node definitions for the CQL variant."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class Expr:
+    """Base expression node."""
+
+
+class Literal(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class ColumnRef(Expr):
+    """A column reference, optionally qualified: ``flows.bytes``."""
+
+    __slots__ = ("table", "name")
+
+    def __init__(self, name: str, table: Optional[str] = None):
+        self.name = name.lower()
+        self.table = table.lower() if table else None
+
+    def __repr__(self) -> str:
+        return f"ColumnRef({self.table + '.' if self.table else ''}{self.name})"
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"Unary({self.op!r}, {self.operand!r})"
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"Binary({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class FunctionCall(Expr):
+    """Aggregate or scalar function call; ``count(*)`` has star=True."""
+
+    __slots__ = ("name", "args", "star")
+
+    def __init__(self, name: str, args: List[Expr], star: bool = False):
+        self.name = name.lower()
+        self.args = args
+        self.star = star
+
+    def __repr__(self) -> str:
+        inner = "*" if self.star else ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+class InList(Expr):
+    __slots__ = ("needle", "haystack", "negated")
+
+    def __init__(self, needle: Expr, haystack: List[Expr], negated: bool = False):
+        self.needle = needle
+        self.haystack = haystack
+        self.negated = negated
+
+
+class Projection:
+    """One SELECT item: expression plus optional alias."""
+
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr: Expr, alias: Optional[str] = None):
+        self.expr = expr
+        self.alias = alias.lower() if alias else None
+
+    def __repr__(self) -> str:
+        return f"Projection({self.expr!r}, alias={self.alias!r})"
+
+
+# Window kinds.
+W_RANGE = "range"  # [RANGE n SECONDS] — rows in the trailing interval
+W_ROWS = "rows"  # [ROWS n]          — the last n rows
+W_NOW = "now"  # [NOW]             — the single newest row
+W_SINCE = "since"  # [SINCE t]         — rows at/after absolute time t
+W_ALL = "all"  # no window         — everything retained in the ring
+
+
+class Window:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: float = 0.0):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Window({self.kind}, {self.value})"
+
+
+class TableRef:
+    """A FROM item: table name, optional window and alias."""
+
+    __slots__ = ("table", "window", "alias")
+
+    def __init__(self, table: str, window: Optional[Window] = None, alias: Optional[str] = None):
+        self.table = table.lower()
+        self.window = window or Window(W_ALL)
+        self.alias = (alias or table).lower()
+
+    def __repr__(self) -> str:
+        return f"TableRef({self.table}, {self.window}, as={self.alias})"
+
+
+class OrderItem:
+    __slots__ = ("expr", "descending")
+
+    def __init__(self, expr: Expr, descending: bool = False):
+        self.expr = expr
+        self.descending = descending
+
+
+class Select:
+    """A parsed SELECT statement."""
+
+    def __init__(
+        self,
+        projections: List[Projection],
+        sources: List[TableRef],
+        where: Optional[Expr] = None,
+        group_by: Optional[List[Expr]] = None,
+        having: Optional[Expr] = None,
+        order_by: Optional[List[OrderItem]] = None,
+        limit: Optional[int] = None,
+        star: bool = False,
+        distinct: bool = False,
+    ):
+        self.projections = projections
+        self.sources = sources
+        self.where = where
+        self.group_by = group_by or []
+        self.having = having
+        self.order_by = order_by or []
+        self.limit = limit
+        self.star = star
+        self.distinct = distinct
+
+    def __repr__(self) -> str:
+        return f"Select(sources={self.sources}, star={self.star})"
+
+
+class Insert:
+    """INSERT INTO table [(cols)] VALUES (literals)."""
+
+    def __init__(self, table: str, columns: Optional[List[str]], values: List[Any]):
+        self.table = table.lower()
+        self.columns = [c.lower() for c in columns] if columns else None
+        self.values = values
+
+
+class CreateTable:
+    """CREATE TABLE name (col type, ...) [BUFFER n]."""
+
+    def __init__(self, table: str, columns: List[Tuple[str, str]], buffer_rows: Optional[int]):
+        self.table = table.lower()
+        self.columns = columns
+        self.buffer_rows = buffer_rows

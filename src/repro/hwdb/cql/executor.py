@@ -1,0 +1,492 @@
+"""Query executor for the CQL variant.
+
+Evaluates a parsed :class:`~repro.hwdb.cql.ast_nodes.Select` against the
+database's ring-buffer tables at a given instant: applies per-stream
+windows (the *temporal* operators), joins sources (the *relational*
+operators), then filters, groups, aggregates, orders and limits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...core.errors import QueryError
+from ..table import Row, StreamTable, TS_COLUMN
+from .ast_nodes import (
+    Binary,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    Literal,
+    OrderItem,
+    Projection,
+    Select,
+    TableRef,
+    Unary,
+    W_ALL,
+    W_NOW,
+    W_RANGE,
+    W_ROWS,
+    W_SINCE,
+)
+from .parser import AGGREGATE_FUNCTIONS
+
+
+class ResultSet:
+    """Query output: column names plus rows of values."""
+
+    __slots__ = ("columns", "rows", "executed_at")
+
+    def __init__(self, columns: List[str], rows: List[Tuple], executed_at: float = 0.0):
+        self.columns = columns
+        self.rows = rows
+        self.executed_at = executed_at
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise QueryError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise QueryError(
+                f"scalar() needs a 1x1 result, have "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def __repr__(self) -> str:
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+
+class _Binding:
+    """One joined row: alias → (table, row) with column resolution."""
+
+    __slots__ = ("sources",)
+
+    def __init__(self, sources: Dict[str, Tuple[StreamTable, Row]]):
+        self.sources = sources
+
+    def resolve(self, ref: ColumnRef) -> Any:
+        if ref.table is not None:
+            try:
+                table, row = self.sources[ref.table]
+            except KeyError:
+                raise QueryError(f"unknown table alias {ref.table!r}") from None
+            return _column_value(table, row, ref.name)
+        matches = [
+            (table, row)
+            for table, row in self.sources.values()
+            if table.has_column(ref.name)
+        ]
+        if not matches:
+            raise QueryError(f"unknown column {ref.name!r}")
+        if len(matches) > 1 and ref.name != TS_COLUMN:
+            raise QueryError(f"ambiguous column {ref.name!r}; qualify it")
+        table, row = matches[0]
+        return _column_value(table, row, ref.name)
+
+
+def _column_value(table: StreamTable, row: Row, name: str) -> Any:
+    if name == TS_COLUMN:
+        return row.timestamp
+    return row.values[table.column_position(name)]
+
+
+def apply_window(table: StreamTable, ref: TableRef, now: float) -> List[Row]:
+    """Materialise the windowed view of ``table`` at time ``now``."""
+    window = ref.window
+    if window.kind == W_ALL:
+        return list(table.rows())
+    if window.kind == W_NOW:
+        newest = table.newest()
+        return [newest] if newest is not None else []
+    if window.kind == W_RANGE:
+        return list(table.rows_since(now - window.value))
+    if window.kind == W_ROWS:
+        return table.last_rows(int(window.value))
+    if window.kind == W_SINCE:
+        return list(table.rows_since(window.value))
+    raise QueryError(f"unsupported window kind {window.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+
+def _has_aggregate(expr: Expr) -> bool:
+    if isinstance(expr, FunctionCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            return True
+        return any(_has_aggregate(a) for a in expr.args)
+    if isinstance(expr, Binary):
+        return _has_aggregate(expr.left) or _has_aggregate(expr.right)
+    if isinstance(expr, Unary):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, InList):
+        return _has_aggregate(expr.needle) or any(
+            _has_aggregate(i) for i in expr.haystack
+        )
+    return False
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    out = ["^"]
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    out.append("$")
+    return re.compile("".join(out), re.IGNORECASE)
+
+
+class Evaluator:
+    """Evaluates expressions over a binding (and a group for aggregates)."""
+
+    def __init__(self, now: float):
+        self.now = now
+
+    # -- scalar path -----------------------------------------------------
+
+    def scalar(self, expr: Expr, binding: Optional[_Binding]) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            if binding is None:
+                raise QueryError(f"column {expr.name!r} outside row context")
+            return binding.resolve(expr)
+        if isinstance(expr, Unary):
+            return self._unary(expr, lambda e: self.scalar(e, binding))
+        if isinstance(expr, Binary):
+            return self._binary(expr, lambda e: self.scalar(e, binding))
+        if isinstance(expr, InList):
+            return self._in_list(expr, lambda e: self.scalar(e, binding))
+        if isinstance(expr, FunctionCall):
+            if expr.name in AGGREGATE_FUNCTIONS:
+                raise QueryError(
+                    f"aggregate {expr.name}() not allowed in row context"
+                )
+            return self._scalar_function(expr, lambda e: self.scalar(e, binding))
+        raise QueryError(f"cannot evaluate expression {expr!r}")
+
+    # -- aggregate path ---------------------------------------------------
+
+    def aggregate(self, expr: Expr, group: Sequence[_Binding]) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            # A bare column inside an aggregate query: value from the
+            # first group row (valid when it's a group key).
+            if not group:
+                return None
+            return group[0].resolve(expr)
+        if isinstance(expr, Unary):
+            return self._unary(expr, lambda e: self.aggregate(e, group))
+        if isinstance(expr, Binary):
+            return self._binary(expr, lambda e: self.aggregate(e, group))
+        if isinstance(expr, InList):
+            return self._in_list(expr, lambda e: self.aggregate(e, group))
+        if isinstance(expr, FunctionCall):
+            if expr.name in AGGREGATE_FUNCTIONS:
+                return self._aggregate_function(expr, group)
+            return self._scalar_function(expr, lambda e: self.aggregate(e, group))
+        raise QueryError(f"cannot evaluate expression {expr!r}")
+
+    def _aggregate_function(self, call: FunctionCall, group: Sequence[_Binding]) -> Any:
+        if call.name == "count":
+            if call.star:
+                return len(group)
+            values = self._arg_values(call, group)
+            return sum(1 for v in values if v is not None)
+        values = [v for v in self._arg_values(call, group) if v is not None]
+        if call.name == "sum":
+            return sum(values) if values else 0
+        if call.name == "avg":
+            return sum(values) / len(values) if values else None
+        if call.name == "min":
+            return min(values) if values else None
+        if call.name == "max":
+            return max(values) if values else None
+        if call.name == "first":
+            return values[0] if values else None
+        if call.name == "last":
+            return values[-1] if values else None
+        if call.name == "stddev":
+            if len(values) < 2:
+                return 0.0
+            mean = sum(values) / len(values)
+            return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+        raise QueryError(f"unknown aggregate {call.name!r}")
+
+    def _arg_values(self, call: FunctionCall, group: Sequence[_Binding]) -> List[Any]:
+        if not call.args:
+            raise QueryError(f"{call.name}() needs an argument")
+        arg = call.args[0]
+        return [self.scalar(arg, binding) for binding in group]
+
+    # -- shared operator logic ---------------------------------------------
+
+    def _unary(self, expr: Unary, ev: Callable[[Expr], Any]) -> Any:
+        value = ev(expr.operand)
+        if expr.op == "not":
+            return not _truthy(value)
+        if expr.op == "-":
+            return -value if value is not None else None
+        raise QueryError(f"unknown unary operator {expr.op!r}")
+
+    def _binary(self, expr: Binary, ev: Callable[[Expr], Any]) -> Any:
+        op = expr.op
+        if op == "and":
+            return _truthy(ev(expr.left)) and _truthy(ev(expr.right))
+        if op == "or":
+            return _truthy(ev(expr.left)) or _truthy(ev(expr.right))
+        left = ev(expr.left)
+        if op == "is_null":
+            return left is None
+        right = ev(expr.right)
+        if op == "like":
+            if left is None or right is None:
+                return False
+            return bool(_like_to_regex(str(right)).match(str(left)))
+        if op in ("=", "!="):
+            equal = left == right
+            return equal if op == "=" else not equal
+        if left is None or right is None:
+            return False if op in ("<", "<=", ">", ">=") else None
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None
+            return left / right
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+        raise QueryError(f"unknown operator {op!r}")
+
+    def _in_list(self, expr: InList, ev: Callable[[Expr], Any]) -> bool:
+        needle = ev(expr.needle)
+        found = any(needle == ev(item) for item in expr.haystack)
+        return (not found) if expr.negated else found
+
+    def _scalar_function(self, call: FunctionCall, ev: Callable[[Expr], Any]) -> Any:
+        args = [ev(a) for a in call.args]
+        name = call.name
+        if name == "now":
+            return self.now
+        if name == "abs":
+            return abs(args[0]) if args and args[0] is not None else None
+        if name == "upper":
+            return str(args[0]).upper() if args and args[0] is not None else None
+        if name == "lower":
+            return str(args[0]).lower() if args and args[0] is not None else None
+        if name == "round":
+            if not args or args[0] is None:
+                return None
+            digits = int(args[1]) if len(args) > 1 and args[1] is not None else 0
+            return round(args[0], digits)
+        if name == "length":
+            return len(str(args[0])) if args and args[0] is not None else None
+        if name == "coalesce":
+            for value in args:
+                if value is not None:
+                    return value
+            return None
+        raise QueryError(f"unknown function {name!r}")
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+# ----------------------------------------------------------------------
+# SELECT execution
+# ----------------------------------------------------------------------
+
+def execute_select(
+    select: Select,
+    tables: Dict[str, StreamTable],
+    now: float,
+) -> ResultSet:
+    """Run ``select`` against ``tables`` at time ``now``."""
+    evaluator = Evaluator(now)
+
+    # 1. Windowed sources.
+    alias_rows: List[Tuple[str, StreamTable, List[Row]]] = []
+    seen_aliases = set()
+    for ref in select.sources:
+        table = tables.get(ref.table)
+        if table is None:
+            raise QueryError(f"no such table {ref.table!r}")
+        if ref.alias in seen_aliases:
+            raise QueryError(f"duplicate table alias {ref.alias!r}")
+        seen_aliases.add(ref.alias)
+        alias_rows.append((ref.alias, table, apply_window(table, ref, now)))
+
+    # 2. Join (cartesian product filtered by WHERE).
+    bindings: List[_Binding] = []
+    for combo in itertools.product(*(rows for _, _, rows in alias_rows)):
+        binding = _Binding(
+            {
+                alias: (table, row)
+                for (alias, table, _), row in zip(alias_rows, combo)
+            }
+        )
+        if select.where is None or _truthy(evaluator.scalar(select.where, binding)):
+            bindings.append(binding)
+
+    # 3. Projection plan.
+    if select.star:
+        projections = _star_projections(alias_rows, len(select.sources) > 1)
+    else:
+        projections = select.projections
+    aggregated = bool(select.group_by) or any(
+        _has_aggregate(p.expr) for p in projections
+    )
+
+    columns = [_projection_name(p, i) for i, p in enumerate(projections)]
+
+    # 4. Grouping / aggregation.
+    if aggregated:
+        groups = _group(bindings, select.group_by, evaluator)
+        out_rows: List[Tuple] = []
+        for group in groups:
+            if select.having is not None and not _truthy(
+                evaluator.aggregate(select.having, group)
+            ):
+                continue
+            out_rows.append(
+                tuple(evaluator.aggregate(p.expr, group) for p in projections)
+            )
+    else:
+        out_rows = [
+            tuple(evaluator.scalar(p.expr, binding) for p in projections)
+            for binding in bindings
+        ]
+
+    # 5. DISTINCT, then ORDER BY + LIMIT.
+    if select.distinct:
+        seen = set()
+        unique: List[Tuple] = []
+        for row in out_rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        out_rows = unique
+    if select.order_by:
+        out_rows = _order_rows(out_rows, select.order_by, projections, columns, evaluator)
+    if select.limit is not None:
+        out_rows = out_rows[: select.limit]
+
+    return ResultSet(columns, out_rows, executed_at=now)
+
+
+def _star_projections(alias_rows, qualify: bool) -> List[Projection]:
+    projections: List[Projection] = []
+    for alias, table, _rows in alias_rows:
+        projections.append(
+            Projection(
+                ColumnRef(TS_COLUMN, table=alias),
+                alias=f"{alias}.{TS_COLUMN}" if qualify else TS_COLUMN,
+            )
+        )
+        for column in table.columns:
+            projections.append(
+                Projection(
+                    ColumnRef(column.name, table=alias),
+                    alias=f"{alias}.{column.name}" if qualify else column.name,
+                )
+            )
+    return projections
+
+
+def _projection_name(projection: Projection, index: int) -> str:
+    if projection.alias:
+        return projection.alias
+    expr = projection.expr
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FunctionCall):
+        if expr.star:
+            return f"{expr.name}_star"
+        if expr.args and isinstance(expr.args[0], ColumnRef):
+            return f"{expr.name}_{expr.args[0].name}"
+        return expr.name
+    return f"col{index}"
+
+
+def _group(
+    bindings: List[_Binding],
+    group_by: List[Expr],
+    evaluator: Evaluator,
+) -> List[List[_Binding]]:
+    if not group_by:
+        return [bindings]
+    buckets: Dict[Tuple, List[_Binding]] = {}
+    for binding in bindings:
+        key = tuple(evaluator.scalar(expr, binding) for expr in group_by)
+        buckets.setdefault(key, []).append(binding)
+    return list(buckets.values())
+
+
+def _order_rows(
+    rows: List[Tuple],
+    order_by: List[OrderItem],
+    projections: List[Projection],
+    columns: List[str],
+    evaluator: Evaluator,
+) -> List[Tuple]:
+    # ORDER BY may name an output column (common case) — resolve to index.
+    def key_for(item: OrderItem) -> Callable[[Tuple], Any]:
+        expr = item.expr
+        if isinstance(expr, ColumnRef) and expr.table is None and expr.name in columns:
+            index = columns.index(expr.name)
+            return lambda row: row[index]
+        # Positional: ORDER BY 2
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            index = expr.value - 1
+            if not 0 <= index < len(columns):
+                raise QueryError(f"ORDER BY position {expr.value} out of range")
+            return lambda row: row[index]
+        raise QueryError("ORDER BY must reference an output column or position")
+
+    for item in reversed(order_by):
+        key = key_for(item)
+        rows = sorted(
+            rows,
+            key=lambda row: (key(row) is None, key(row)),
+            reverse=item.descending,
+        )
+    return rows

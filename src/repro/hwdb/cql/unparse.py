@@ -1,0 +1,143 @@
+"""Render a CQL AST back to query text.
+
+Useful for logging installed subscriptions, for the RPC server to echo
+normalised queries, and for property-testing the parser: for any AST,
+``parse(unparse(ast))`` must produce an equivalent statement.
+"""
+
+from __future__ import annotations
+
+from ...core.errors import QueryError
+from .ast_nodes import (
+    Binary,
+    ColumnRef,
+    CreateTable,
+    Expr,
+    FunctionCall,
+    InList,
+    Insert,
+    Literal,
+    OrderItem,
+    Projection,
+    Select,
+    TableRef,
+    Unary,
+    W_ALL,
+    W_NOW,
+    W_RANGE,
+    W_ROWS,
+    W_SINCE,
+)
+
+
+def unparse_expr(expr: Expr) -> str:
+    if isinstance(expr, Literal):
+        return _literal(expr.value)
+    if isinstance(expr, ColumnRef):
+        if expr.table:
+            return f"{expr.table}.{expr.name}"
+        return expr.name
+    if isinstance(expr, Unary):
+        if expr.op == "not":
+            return f"NOT ({unparse_expr(expr.operand)})"
+        return f"{expr.op}({unparse_expr(expr.operand)})"
+    if isinstance(expr, Binary):
+        if expr.op == "is_null":
+            return f"({unparse_expr(expr.left)}) IS NULL"
+        op = {"and": "AND", "or": "OR", "like": "LIKE"}.get(expr.op, expr.op)
+        return f"({unparse_expr(expr.left)} {op} {unparse_expr(expr.right)})"
+    if isinstance(expr, InList):
+        items = ", ".join(unparse_expr(i) for i in expr.haystack)
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"({unparse_expr(expr.needle)} {keyword} ({items}))"
+    if isinstance(expr, FunctionCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        return f"{expr.name}({', '.join(unparse_expr(a) for a in expr.args)})"
+    raise QueryError(f"cannot unparse expression {expr!r}")
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _window(ref: TableRef) -> str:
+    window = ref.window
+    if window.kind == W_ALL:
+        return ""
+    if window.kind == W_NOW:
+        return " [NOW]"
+    if window.kind == W_RANGE:
+        return f" [RANGE {window.value!r} SECONDS]"
+    if window.kind == W_ROWS:
+        return f" [ROWS {int(window.value)}]"
+    if window.kind == W_SINCE:
+        return f" [SINCE {window.value!r}]"
+    raise QueryError(f"cannot unparse window {window!r}")
+
+
+def _table_ref(ref: TableRef) -> str:
+    text = ref.table + _window(ref)
+    if ref.alias != ref.table:
+        text += f" AS {ref.alias}"
+    return text
+
+
+def _projection(projection: Projection) -> str:
+    text = unparse_expr(projection.expr)
+    if projection.alias:
+        text += f" AS {projection.alias}"
+    return text
+
+
+def _order_item(item: OrderItem) -> str:
+    return unparse_expr(item.expr) + (" DESC" if item.descending else " ASC")
+
+
+def unparse(statement) -> str:
+    """Render a statement AST to parseable query text."""
+    if isinstance(statement, Select):
+        parts = ["SELECT"]
+        if statement.distinct:
+            parts.append("DISTINCT")
+        if statement.star:
+            parts.append("*")
+        else:
+            parts.append(", ".join(_projection(p) for p in statement.projections))
+        parts.append("FROM")
+        parts.append(", ".join(_table_ref(r) for r in statement.sources))
+        if statement.where is not None:
+            parts.append("WHERE " + unparse_expr(statement.where))
+        if statement.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(unparse_expr(e) for e in statement.group_by)
+            )
+        if statement.having is not None:
+            parts.append("HAVING " + unparse_expr(statement.having))
+        if statement.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(_order_item(i) for i in statement.order_by)
+            )
+        if statement.limit is not None:
+            parts.append(f"LIMIT {statement.limit}")
+        return " ".join(parts)
+    if isinstance(statement, Insert):
+        columns = (
+            " (" + ", ".join(statement.columns) + ")" if statement.columns else ""
+        )
+        values = ", ".join(_literal(v) for v in statement.values)
+        return f"INSERT INTO {statement.table}{columns} VALUES ({values})"
+    if isinstance(statement, CreateTable):
+        columns = ", ".join(f"{name} {tname}" for name, tname in statement.columns)
+        text = f"CREATE TABLE {statement.table} ({columns})"
+        if statement.buffer_rows is not None:
+            text += f" BUFFER {statement.buffer_rows}"
+        return text
+    raise QueryError(f"cannot unparse statement {statement!r}")

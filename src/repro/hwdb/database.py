@@ -1,0 +1,252 @@
+"""The Homework Database (hwdb).
+
+"An active ephemeral stream database which stores ephemeral events into a
+fixed size memory buffer.  It links events into tables and supports
+queries via a CQL variant able to express temporal and relational
+operations on data.  The database supports a simple UDP-based RPC
+interface enabling applications to subscribe to query results,
+persisting output as desired."
+
+This module is the database core: table management, inserts, one-shot
+queries and continuous subscriptions.  The RPC front-end lives in
+:mod:`repro.hwdb.rpc`, persistence in :mod:`repro.hwdb.persist`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.clock import Clock
+from ..core.errors import HwdbError, QueryError
+from .cql.ast_nodes import CreateTable, Insert, Select
+from .cql.executor import ResultSet, execute_select
+from .cql.parser import parse
+from .table import Column, StreamTable
+from .types import type_by_name
+
+logger = logging.getLogger(__name__)
+
+SubscriptionCallback = Callable[[ResultSet], None]
+
+
+class Subscription:
+    """A continuous query: re-executed every ``interval`` seconds.
+
+    This is hwdb's *active* behaviour — results are pushed to the
+    subscriber rather than polled, which is how the paper's interfaces
+    stay "dynamically updated from the active database".
+    """
+
+    _next_id = 1
+
+    def __init__(
+        self,
+        db: "HomeworkDatabase",
+        select: Select,
+        interval: float,
+        callback: SubscriptionCallback,
+        deliver_empty: bool = False,
+    ):
+        self.id = Subscription._next_id
+        Subscription._next_id += 1
+        self.db = db
+        self.select = select
+        self.interval = interval
+        self.callback = callback
+        self.deliver_empty = deliver_empty
+        self.active = True
+        self.deliveries = 0
+        self.executions = 0
+        self._timer = None
+
+    def fire(self) -> Optional[ResultSet]:
+        """Execute once and deliver (subject to ``deliver_empty``).
+
+        A query that can no longer execute (e.g. its table was dropped)
+        cancels the subscription rather than crashing the scheduler.
+        """
+        if not self.active:
+            return None
+        try:
+            result = self.db.execute_parsed(self.select)
+        except HwdbError:
+            logger.warning(
+                "subscription %d query no longer executable; cancelling", self.id
+            )
+            self.cancel()
+            return None
+        self.executions += 1
+        if result.rows or self.deliver_empty:
+            self.deliveries += 1
+            try:
+                self.callback(result)
+            except Exception:  # noqa: BLE001 - subscriber faults stay local
+                logger.exception("subscription %d callback failed", self.id)
+        return result
+
+    def cancel(self) -> None:
+        self.active = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.db._drop_subscription(self.id)
+
+
+class HomeworkDatabase:
+    """hwdb: typed ring-buffer tables + CQL queries + subscriptions."""
+
+    def __init__(self, clock: Clock, default_capacity: int = 4096):
+        self._clock = clock
+        self.default_capacity = default_capacity
+        self._tables: Dict[str, StreamTable] = {}
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._scheduler = None  # set via attach_scheduler
+        self.queries_executed = 0
+        self.inserts = 0
+
+    @property
+    def now(self) -> float:
+        return self._clock.now()
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Give the database a timer source (the simulator).
+
+        Needed only for periodic subscriptions; one-shot queries and
+        manually fired subscriptions work without it.
+        """
+        self._scheduler = scheduler
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, str]],
+        capacity: Optional[int] = None,
+    ) -> StreamTable:
+        """Create a ring-buffer table from (name, typename) pairs."""
+        key = name.lower()
+        if key in self._tables:
+            raise HwdbError(f"table {name!r} already exists")
+        cols = [Column(cname, type_by_name(tname)) for cname, tname in columns]
+        table = StreamTable(key, cols, capacity or self.default_capacity)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name.lower() not in self._tables:
+            raise HwdbError(f"no such table {name!r}")
+        del self._tables[name.lower()]
+
+    def table(self, name: str) -> StreamTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise HwdbError(f"no such table {name!r}") from None
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert(self, table_name: str, record: Union[Dict[str, Any], Sequence[Any]]) -> None:
+        """Insert one event, timestamped with the database clock."""
+        table = self.table(table_name)
+        self.inserts += 1
+        if isinstance(record, dict):
+            table.insert_dict(self.now, record)
+        else:
+            table.insert(self.now, list(record))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, text: str) -> ResultSet:
+        """Parse and execute one statement (SELECT/INSERT/CREATE)."""
+        statement = parse(text)
+        return self.execute_parsed(statement)
+
+    def execute_parsed(self, statement) -> ResultSet:
+        self.queries_executed += 1
+        if isinstance(statement, Select):
+            return execute_select(statement, self._tables, self.now)
+        if isinstance(statement, Insert):
+            table = self.table(statement.table)
+            if statement.columns is not None:
+                if len(statement.columns) != len(statement.values):
+                    raise QueryError("INSERT column/value count mismatch")
+                record = dict(zip(statement.columns, statement.values))
+                table.insert_dict(self.now, record)
+            else:
+                table.insert(self.now, statement.values)
+            self.inserts += 1
+            return ResultSet(["inserted"], [(1,)], executed_at=self.now)
+        if isinstance(statement, CreateTable):
+            self.create_table(statement.table, statement.columns, statement.buffer_rows)
+            return ResultSet(["created"], [(statement.table,)], executed_at=self.now)
+        raise QueryError(f"unsupported statement type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        text: str,
+        interval: float,
+        callback: SubscriptionCallback,
+        deliver_empty: bool = False,
+        start: bool = True,
+    ) -> Subscription:
+        """Register a continuous query pushing results every ``interval`` s."""
+        if interval <= 0:
+            raise HwdbError(f"subscription interval must be positive: {interval}")
+        statement = parse(text)
+        if not isinstance(statement, Select):
+            raise QueryError("only SELECT statements can be subscribed")
+        subscription = Subscription(self, statement, interval, callback, deliver_empty)
+        self._subscriptions[subscription.id] = subscription
+        if start:
+            if self._scheduler is None:
+                raise HwdbError(
+                    "no scheduler attached; call attach_scheduler() or "
+                    "use start=False and fire() manually"
+                )
+            subscription._timer = self._scheduler.schedule_periodic(
+                interval, subscription.fire
+            )
+        return subscription
+
+    def subscription(self, sub_id: int) -> Subscription:
+        try:
+            return self._subscriptions[sub_id]
+        except KeyError:
+            raise HwdbError(f"no subscription {sub_id}") from None
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions.values())
+
+    def _drop_subscription(self, sub_id: int) -> None:
+        self._subscriptions.pop(sub_id, None)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "tables": len(self._tables),
+            "queries_executed": self.queries_executed,
+            "inserts": self.inserts,
+            "subscriptions": len(self._subscriptions),
+            "rows_retained": sum(len(t) for t in self._tables.values()),
+            "rows_overwritten": sum(t.overwritten for t in self._tables.values()),
+        }
+
+    def __repr__(self) -> str:
+        return f"HomeworkDatabase(tables={self.tables()}, inserts={self.inserts})"

@@ -1,0 +1,108 @@
+"""Persisting query output.
+
+hwdb itself is ephemeral (fixed memory buffers); the paper notes that the
+RPC interface lets applications subscribe to query results, "persisting
+output as desired".  These sinks do that: attach one as a subscription
+callback and every delivery is appended to a CSV or JSON-lines file.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, List, Optional, TextIO
+
+from .cql.executor import ResultSet
+
+
+class CsvSink:
+    """Append result-set rows to a CSV stream (header written once)."""
+
+    def __init__(self, stream: TextIO, include_delivery_time: bool = True):
+        self._stream = stream
+        self._writer = csv.writer(stream)
+        self._header_written = False
+        self.include_delivery_time = include_delivery_time
+        self.rows_written = 0
+
+    def __call__(self, result: ResultSet) -> None:
+        if not self._header_written:
+            header: List[str] = list(result.columns)
+            if self.include_delivery_time:
+                header = ["delivered_at"] + header
+            self._writer.writerow(header)
+            self._header_written = True
+        for row in result.rows:
+            out: List[Any] = list(row)
+            if self.include_delivery_time:
+                out = [result.executed_at] + out
+            self._writer.writerow(out)
+            self.rows_written += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+
+class JsonLinesSink:
+    """Append each delivery as one JSON object per row."""
+
+    def __init__(self, stream: TextIO):
+        self._stream = stream
+        self.rows_written = 0
+
+    def __call__(self, result: ResultSet) -> None:
+        for record in result.to_dicts():
+            record["_delivered_at"] = result.executed_at
+            self._stream.write(json.dumps(record, default=str) + "\n")
+            self.rows_written += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+
+class MemorySink:
+    """Keep every delivered result in memory (handy in tests and UIs)."""
+
+    def __init__(self, max_deliveries: Optional[int] = None):
+        self.deliveries: List[ResultSet] = []
+        self.max_deliveries = max_deliveries
+
+    def __call__(self, result: ResultSet) -> None:
+        self.deliveries.append(result)
+        if self.max_deliveries is not None and len(self.deliveries) > self.max_deliveries:
+            del self.deliveries[0]
+
+    @property
+    def latest(self) -> Optional[ResultSet]:
+        return self.deliveries[-1] if self.deliveries else None
+
+    def all_rows(self) -> List[tuple]:
+        return [row for delivery in self.deliveries for row in delivery.rows]
+
+
+def render_table(result: ResultSet, max_rows: int = 50) -> str:
+    """Human-readable fixed-width rendering of a result set."""
+    columns = result.columns or ["(empty)"]
+    rows = [tuple(_fmt(v) for v in row) for row in result.rows[:max_rows]]
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows) - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

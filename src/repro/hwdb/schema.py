@@ -1,0 +1,66 @@
+"""The standard Homework measurement-plane schema.
+
+"Tables used are Flows, periodically observed active five-tuples; Links,
+link-layer information, e.g., MAC address and received signal strength
+(RSSI); and Leases, mapping Ethernet to IP address."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .database import HomeworkDatabase
+
+#: Periodically observed active five-tuples with byte/packet deltas.
+FLOWS_SCHEMA = [
+    ("src_ip", "ipaddr"),
+    ("dst_ip", "ipaddr"),
+    ("proto", "integer"),
+    ("src_port", "integer"),
+    ("dst_port", "integer"),
+    ("src_mac", "macaddr"),
+    ("packets", "integer"),
+    ("bytes", "integer"),
+]
+
+#: Link-layer observations per station.
+LINKS_SCHEMA = [
+    ("mac", "macaddr"),
+    ("rssi", "real"),
+    ("retries", "integer"),
+    ("packets", "integer"),
+    ("wired", "boolean"),
+]
+
+#: DHCP lease events mapping Ethernet to IP address.
+LEASES_SCHEMA = [
+    ("mac", "macaddr"),
+    ("ip", "ipaddr"),
+    ("hostname", "varchar"),
+    ("action", "varchar"),  # granted | renewed | revoked | denied
+    ("expires", "timestamp"),
+]
+
+#: DNS proxy observations: who asked for what, and the verdict.
+DNS_SCHEMA = [
+    ("device_ip", "ipaddr"),
+    ("name", "varchar"),
+    ("resolved_ip", "ipaddr"),
+    ("allowed", "boolean"),
+]
+
+STANDARD_TABLES = {
+    "flows": FLOWS_SCHEMA,
+    "links": LINKS_SCHEMA,
+    "leases": LEASES_SCHEMA,
+    "dns": DNS_SCHEMA,
+}
+
+
+def install_standard_schema(
+    db: HomeworkDatabase, capacity: Optional[int] = None
+) -> None:
+    """Create the Flows/Links/Leases (+Dns) tables on ``db``."""
+    for name, schema in STANDARD_TABLES.items():
+        if not db.has_table(name):
+            db.create_table(name, schema, capacity)

@@ -1,0 +1,91 @@
+"""Column types for hwdb tables.
+
+hwdb tables are strongly typed; these validators/coercers cover the types
+the Homework schema uses: integers, reals, strings, booleans, timestamps,
+MAC and IPv4 addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..core.errors import HwdbError
+from ..net.addresses import AddressError, IPv4Address, MACAddress
+
+
+class ColumnType:
+    """A named type with a coercion function."""
+
+    def __init__(self, name: str, coerce: Callable[[Any], Any]):
+        self.name = name
+        self._coerce = coerce
+
+    def coerce(self, value: Any) -> Any:
+        try:
+            return self._coerce(value)
+        except (TypeError, ValueError, AddressError) as exc:
+            raise HwdbError(f"cannot coerce {value!r} to {self.name}: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"ColumnType({self.name!r})"
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+INTEGER = ColumnType("integer", lambda v: int(v))
+REAL = ColumnType("real", lambda v: float(v))
+VARCHAR = ColumnType("varchar", lambda v: str(v))
+BOOLEAN = ColumnType("boolean", _coerce_bool)
+TIMESTAMP = ColumnType("timestamp", lambda v: float(v))
+MACADDR = ColumnType("macaddr", lambda v: str(MACAddress(v)))
+IPADDR = ColumnType("ipaddr", lambda v: str(IPv4Address(v)))
+
+TYPES: Dict[str, ColumnType] = {
+    "integer": INTEGER,
+    "int": INTEGER,
+    "real": REAL,
+    "float": REAL,
+    "double": REAL,
+    "varchar": VARCHAR,
+    "text": VARCHAR,
+    "string": VARCHAR,
+    "boolean": BOOLEAN,
+    "bool": BOOLEAN,
+    "timestamp": TIMESTAMP,
+    "macaddr": MACADDR,
+    "mac": MACADDR,
+    "ipaddr": IPADDR,
+    "ip": IPADDR,
+}
+
+
+def type_by_name(name: str) -> ColumnType:
+    try:
+        return TYPES[name.lower()]
+    except KeyError:
+        raise HwdbError(f"unknown column type {name!r}") from None
+
+
+class Column:
+    """A (name, type) pair in a table schema."""
+
+    __slots__ = ("name", "ctype")
+
+    def __init__(self, name: str, ctype: ColumnType):
+        self.name = name.lower()
+        self.ctype = ctype
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype.name})"

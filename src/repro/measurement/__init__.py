@@ -1,0 +1,26 @@
+"""The measurement plane: collectors into hwdb + aggregation views."""
+
+from .aggregator import BandwidthAggregator, DeviceUsage
+from .capture import PacketCapture
+from .collectors import FlowCollector, LeaseCollector, LinkCollector
+from .protocols import (
+    TRANSPORT_NAMES,
+    WELL_KNOWN,
+    application_label,
+    classify,
+    protocol_label,
+)
+
+__all__ = [
+    "BandwidthAggregator",
+    "DeviceUsage",
+    "PacketCapture",
+    "FlowCollector",
+    "LinkCollector",
+    "LeaseCollector",
+    "classify",
+    "protocol_label",
+    "application_label",
+    "WELL_KNOWN",
+    "TRANSPORT_NAMES",
+]

@@ -1,0 +1,61 @@
+"""Packet capture: mirror datapath traffic to pcap.
+
+The Homework router sees every frame (the isolating DHCP allocation
+guarantees it), so a tap on ``dp0`` is a complete household trace.
+:class:`PacketCapture` attaches to a datapath and writes standard pcap
+that external tools (tcpdump/wireshark) can read.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Optional, TYPE_CHECKING
+
+from ..net.pcap import PcapWriter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..openflow.datapath import Datapath
+    from ..sim.simulator import Simulator
+
+
+class PacketCapture:
+    """A datapath tap streaming frames into a pcap file."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        datapath: "Datapath",
+        stream: BinaryIO,
+        snaplen: int = 65535,
+        max_frames: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.datapath = datapath
+        self.writer = PcapWriter(stream, snaplen=snaplen)
+        self.max_frames = max_frames
+        self.frames_captured = 0
+        self.active = False
+
+    def start(self) -> None:
+        if not self.active:
+            self.datapath.taps.append(self._tap)
+            self.active = True
+
+    def stop(self) -> None:
+        if self.active:
+            self.datapath.taps.remove(self._tap)
+            self.active = False
+        self.writer.flush()
+
+    def _tap(self, raw: bytes, _in_port: int) -> None:
+        if self.max_frames is not None and self.frames_captured >= self.max_frames:
+            self.stop()
+            return
+        self.writer.write(self.sim.now, raw)
+        self.frames_captured += 1
+
+    def __enter__(self) -> "PacketCapture":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,67 @@
+"""The application–protocol mapping.
+
+Figure 1 shows "per-device per-protocol bandwidth consumption ... to the
+extent permitted by the imperfect application-protocol mapping".  The
+mapping is imperfect by nature: it classifies flows by well-known port
+and transport, which is exactly what we reproduce (e.g. everything on
+443 is "web", even if it is really video).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..net.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+#: (proto, server-port) → (protocol label, application guess)
+WELL_KNOWN: Dict[Tuple[int, int], Tuple[str, str]] = {
+    (PROTO_TCP, 80): ("http", "web"),
+    (PROTO_TCP, 443): ("https", "web"),
+    (PROTO_TCP, 8080): ("http-alt", "web"),
+    (PROTO_TCP, 22): ("ssh", "remote-access"),
+    (PROTO_TCP, 23): ("telnet", "remote-access"),
+    (PROTO_TCP, 25): ("smtp", "mail"),
+    (PROTO_TCP, 143): ("imap", "mail"),
+    (PROTO_TCP, 993): ("imaps", "mail"),
+    (PROTO_TCP, 110): ("pop3", "mail"),
+    (PROTO_TCP, 995): ("pop3s", "mail"),
+    (PROTO_TCP, 1935): ("rtmp", "streaming"),
+    (PROTO_TCP, 554): ("rtsp", "streaming"),
+    (PROTO_TCP, 6881): ("bittorrent", "p2p"),
+    (PROTO_UDP, 53): ("dns", "infrastructure"),
+    (PROTO_TCP, 53): ("dns", "infrastructure"),
+    (PROTO_UDP, 67): ("dhcp", "infrastructure"),
+    (PROTO_UDP, 68): ("dhcp", "infrastructure"),
+    (PROTO_UDP, 123): ("ntp", "infrastructure"),
+    (PROTO_UDP, 987): ("hwdb-rpc", "infrastructure"),
+    (PROTO_UDP, 8883): ("mqtt", "iot"),
+    (PROTO_TCP, 8883): ("mqtts", "iot"),
+    (PROTO_UDP, 5353): ("mdns", "infrastructure"),
+}
+
+TRANSPORT_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+
+
+def classify(proto: int, src_port: int, dst_port: int) -> Tuple[str, str]:
+    """Classify a five-tuple into (protocol, application).
+
+    The server side of a flow is guessed as the lower well-known port,
+    checking both directions — the standard heuristic, imperfect as the
+    paper admits.
+    """
+    if proto == PROTO_ICMP:
+        return ("icmp", "infrastructure")
+    for port in sorted((dst_port, src_port)):
+        hit = WELL_KNOWN.get((proto, port))
+        if hit is not None:
+            return hit
+    transport = TRANSPORT_NAMES.get(proto, f"proto-{proto}")
+    return (transport, "other")
+
+
+def protocol_label(proto: int, src_port: int, dst_port: int) -> str:
+    return classify(proto, src_port, dst_port)[0]
+
+
+def application_label(proto: int, src_port: int, dst_port: int) -> str:
+    return classify(proto, src_port, dst_port)[1]

@@ -1,0 +1,108 @@
+"""Wire formats for the Homework router reproduction.
+
+Real, symmetric pack/unpack implementations of every protocol the home
+router touches: Ethernet, ARP, IPv4, UDP, TCP, ICMP, DNS and DHCP, plus
+address types, the Internet checksum, and a pcap trace writer/reader.
+"""
+
+from .addresses import AddressError, IPv4Address, IPv4Network, MACAddress
+from .arp import ARP, ARP_REPLY, ARP_REQUEST
+from .checksum import internet_checksum, pseudo_header, verify_checksum
+from .dhcp_msg import (
+    BOOTREPLY,
+    BOOTREQUEST,
+    DHCPACK,
+    DHCPDECLINE,
+    DHCPDISCOVER,
+    DHCPINFORM,
+    DHCPMessage,
+    DHCPNAK,
+    DHCPOFFER,
+    DHCPRELEASE,
+    DHCPREQUEST,
+)
+from .dns_msg import (
+    CLASS_IN,
+    DNSMessage,
+    DNSQuestion,
+    DNSRecord,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    RCODE_SERVFAIL,
+    TYPE_A,
+    TYPE_CNAME,
+    TYPE_PTR,
+    reverse_pointer_name,
+)
+from .ethernet import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IPV4,
+    ETH_TYPE_IPV6,
+    ETH_TYPE_LLDP,
+    ETH_TYPE_VLAN,
+    Ethernet,
+)
+from .icmp import ICMP
+from .ipv4 import IPv4, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .packet import Packet, PacketError
+from .pcap import PcapReader, PcapWriter
+from .tcp import TCP
+from .udp import PORT_DHCP_CLIENT, PORT_DHCP_SERVER, PORT_DNS, PORT_HWDB_RPC, UDP
+
+__all__ = [
+    "AddressError",
+    "IPv4Address",
+    "IPv4Network",
+    "MACAddress",
+    "ARP",
+    "ARP_REQUEST",
+    "ARP_REPLY",
+    "internet_checksum",
+    "pseudo_header",
+    "verify_checksum",
+    "DHCPMessage",
+    "BOOTREQUEST",
+    "BOOTREPLY",
+    "DHCPDISCOVER",
+    "DHCPOFFER",
+    "DHCPREQUEST",
+    "DHCPDECLINE",
+    "DHCPACK",
+    "DHCPNAK",
+    "DHCPRELEASE",
+    "DHCPINFORM",
+    "DNSMessage",
+    "DNSQuestion",
+    "DNSRecord",
+    "CLASS_IN",
+    "TYPE_A",
+    "TYPE_CNAME",
+    "TYPE_PTR",
+    "RCODE_NOERROR",
+    "RCODE_NXDOMAIN",
+    "RCODE_REFUSED",
+    "RCODE_SERVFAIL",
+    "reverse_pointer_name",
+    "Ethernet",
+    "ETH_TYPE_IPV4",
+    "ETH_TYPE_ARP",
+    "ETH_TYPE_VLAN",
+    "ETH_TYPE_IPV6",
+    "ETH_TYPE_LLDP",
+    "ICMP",
+    "IPv4",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "PacketError",
+    "PcapReader",
+    "PcapWriter",
+    "TCP",
+    "UDP",
+    "PORT_DNS",
+    "PORT_DHCP_SERVER",
+    "PORT_DHCP_CLIENT",
+    "PORT_HWDB_RPC",
+]

@@ -1,0 +1,305 @@
+"""Address types used throughout the stack.
+
+The Homework router identifies devices by their Ethernet (MAC) address and
+maps them to IPv4 addresses via the DHCP server's ``Leases`` table.  These
+small value types are used everywhere — packets, flow matches, hwdb rows —
+so they are immutable, hashable and cheap.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Tuple, Union
+
+_MAC_RE = re.compile(r"^([0-9A-Fa-f]{2}[:\-]){5}[0-9A-Fa-f]{2}$")
+
+
+class AddressError(ValueError):
+    """Raised when an address string or byte sequence is malformed."""
+
+
+class MACAddress:
+    """A 48-bit Ethernet address.
+
+    Accepts ``aa:bb:cc:dd:ee:ff`` / ``aa-bb-cc-dd-ee-ff`` strings, 6-byte
+    sequences, integers, or another :class:`MACAddress`.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, bytes, int, "MACAddress"]):
+        if isinstance(value, MACAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 48):
+                raise AddressError(f"MAC integer out of range: {value!r}")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 6:
+                raise AddressError(f"MAC must be 6 bytes, got {len(value)}")
+            self._value = int.from_bytes(bytes(value), "big")
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise AddressError(f"malformed MAC address: {value!r}")
+            self._value = int(value.replace("-", ":").replace(":", ""), 16)
+        else:
+            raise AddressError(f"cannot build MAC from {type(value).__name__}")
+
+    @classmethod
+    def broadcast(cls) -> "MACAddress":
+        """The all-ones broadcast address ``ff:ff:ff:ff:ff:ff``."""
+        return cls((1 << 48) - 1)
+
+    @classmethod
+    def zero(cls) -> "MACAddress":
+        """The all-zero address, used as a wildcard placeholder."""
+        return cls(0)
+
+    @property
+    def packed(self) -> bytes:
+        """The 6-byte big-endian wire representation."""
+        return self._value.to_bytes(6, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the group bit (LSB of the first octet) is set."""
+        return bool((self._value >> 40) & 0x01)
+
+    @property
+    def is_unicast(self) -> bool:
+        return not self.is_multicast
+
+    @property
+    def oui(self) -> int:
+        """The 24-bit Organizationally Unique Identifier."""
+        return self._value >> 24
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MACAddress):
+            return self._value == other._value
+        if isinstance(other, str):
+            try:
+                return self._value == MACAddress(other)._value
+            except AddressError:
+                return False
+        return NotImplemented
+
+    def __lt__(self, other: "MACAddress") -> bool:
+        return self._value < MACAddress(other)._value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+    def __str__(self) -> str:
+        raw = f"{self._value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MACAddress({str(self)!r})"
+
+
+class IPv4Address:
+    """A 32-bit IPv4 address with the handful of helpers the router needs."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, bytes, int, "IPv4Address"]):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise AddressError(f"IPv4 integer out of range: {value!r}")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 4:
+                raise AddressError(f"IPv4 must be 4 bytes, got {len(value)}")
+            self._value = int.from_bytes(bytes(value), "big")
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise AddressError(f"malformed IPv4 address: {value!r}")
+            acc = 0
+            for part in parts:
+                if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+                    raise AddressError(f"malformed IPv4 address: {value!r}")
+                octet = int(part)
+                if octet > 255:
+                    raise AddressError(f"malformed IPv4 address: {value!r}")
+                acc = (acc << 8) | octet
+            self._value = acc
+        else:
+            raise AddressError(f"cannot build IPv4 from {type(value).__name__}")
+
+    @classmethod
+    def any(cls) -> "IPv4Address":
+        return cls(0)
+
+    @classmethod
+    def broadcast(cls) -> "IPv4Address":
+        return cls((1 << 32) - 1)
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    @property
+    def is_unspecified(self) -> bool:
+        return self._value == 0
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == (1 << 32) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        return 224 <= (self._value >> 24) <= 239
+
+    @property
+    def is_private(self) -> bool:
+        """RFC 1918 private ranges — home networks live here."""
+        top = self._value >> 24
+        if top == 10:
+            return True
+        if top == 172 and 16 <= ((self._value >> 16) & 0xFF) <= 31:
+            return True
+        if top == 192 and ((self._value >> 16) & 0xFF) == 168:
+            return True
+        return False
+
+    @property
+    def is_loopback(self) -> bool:
+        return (self._value >> 24) == 127
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address((self._value + offset) & 0xFFFFFFFF)
+
+    def __sub__(self, other: Union[int, "IPv4Address"]) -> Union["IPv4Address", int]:
+        if isinstance(other, IPv4Address):
+            return self._value - other._value
+        return IPv4Address((self._value - other) & 0xFFFFFFFF)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, str):
+            try:
+                return self._value == IPv4Address(other)._value
+            except AddressError:
+                return False
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < IPv4Address(other)._value
+
+    def __le__(self, other: "IPv4Address") -> bool:
+        return self._value <= IPv4Address(other)._value
+
+    def __hash__(self) -> int:
+        return hash(("ip4", self._value))
+
+    def __str__(self) -> str:
+        v = self._value
+        return f"{v >> 24}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+
+class IPv4Network:
+    """An IPv4 prefix (address + mask length) with membership and iteration.
+
+    The DHCP server uses /30 per-device networks to force all inter-device
+    traffic through the router, and the wider home subnet for the pool.
+    """
+
+    __slots__ = ("_network", "_prefixlen")
+
+    def __init__(self, spec: Union[str, Tuple[IPv4Address, int]], prefixlen: int = None):
+        if isinstance(spec, str) and prefixlen is None:
+            if "/" not in spec:
+                raise AddressError(f"network needs a /prefix: {spec!r}")
+            addr_s, _, plen_s = spec.partition("/")
+            addr = IPv4Address(addr_s)
+            if not plen_s.isdigit():
+                raise AddressError(f"malformed prefix length: {spec!r}")
+            plen = int(plen_s)
+        elif isinstance(spec, tuple):
+            addr, plen = IPv4Address(spec[0]), int(spec[1])
+        else:
+            addr, plen = IPv4Address(spec), int(prefixlen)
+        if not 0 <= plen <= 32:
+            raise AddressError(f"prefix length out of range: {plen}")
+        self._prefixlen = plen
+        self._network = int(addr) & self.netmask_int
+
+    @property
+    def prefixlen(self) -> int:
+        return self._prefixlen
+
+    @property
+    def netmask_int(self) -> int:
+        if self._prefixlen == 0:
+            return 0
+        return ((1 << self._prefixlen) - 1) << (32 - self._prefixlen)
+
+    @property
+    def netmask(self) -> IPv4Address:
+        return IPv4Address(self.netmask_int)
+
+    @property
+    def network_address(self) -> IPv4Address:
+        return IPv4Address(self._network)
+
+    @property
+    def broadcast_address(self) -> IPv4Address:
+        return IPv4Address(self._network | (~self.netmask_int & 0xFFFFFFFF))
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self._prefixlen)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Usable host addresses (excludes network/broadcast for <31)."""
+        if self._prefixlen >= 31:
+            for offset in range(self.num_addresses):
+                yield IPv4Address(self._network + offset)
+            return
+        for offset in range(1, self.num_addresses - 1):
+            yield IPv4Address(self._network + offset)
+
+    def subnets(self, new_prefixlen: int) -> Iterator["IPv4Network"]:
+        """Split this network into consecutive subnets of ``new_prefixlen``."""
+        if new_prefixlen < self._prefixlen or new_prefixlen > 32:
+            raise AddressError(
+                f"cannot split /{self._prefixlen} into /{new_prefixlen}"
+            )
+        step = 1 << (32 - new_prefixlen)
+        for base in range(self._network, self._network + self.num_addresses, step):
+            yield IPv4Network((IPv4Address(base), new_prefixlen))
+
+    def __contains__(self, addr: Union[str, IPv4Address]) -> bool:
+        return (int(IPv4Address(addr)) & self.netmask_int) == self._network
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Network):
+            return NotImplemented
+        return self._network == other._network and self._prefixlen == other._prefixlen
+
+    def __hash__(self) -> int:
+        return hash(("net4", self._network, self._prefixlen))
+
+    def __str__(self) -> str:
+        return f"{IPv4Address(self._network)}/{self._prefixlen}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network({str(self)!r})"

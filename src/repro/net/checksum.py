@@ -1,0 +1,28 @@
+"""Internet checksum (RFC 1071) used by IPv4, ICMP, UDP and TCP."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement sum of ``data``.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
+    """The IPv4 pseudo header prepended for UDP/TCP checksums."""
+    return src + dst + bytes([0, proto]) + length.to_bytes(2, "big")
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (checksum field included) sums to zero."""
+    return internet_checksum(data) == 0

@@ -1,0 +1,73 @@
+"""Base classes for the packet model.
+
+Every protocol layer is a :class:`Packet` subclass with symmetric
+``pack()`` / ``unpack()`` methods producing real wire bytes.  Layers nest
+through the ``payload`` attribute, so a full frame is e.g.::
+
+    Ethernet(src=..., dst=..., payload=IPv4(..., payload=UDP(..., payload=b"...")))
+
+The Open vSwitch-style datapath classifies packets by parsing these wire
+bytes back into headers, exactly as the kernel flow extractor does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type, TypeVar, Union
+
+P = TypeVar("P", bound="Packet")
+
+Payload = Union["Packet", bytes]
+
+
+class PacketError(ValueError):
+    """Raised when wire bytes cannot be parsed as the expected protocol."""
+
+
+class Packet:
+    """Abstract protocol layer.
+
+    Subclasses must implement :meth:`pack` and :meth:`unpack` and should
+    store their payload (next layer or raw bytes) in ``self.payload``.
+    """
+
+    payload: Payload
+
+    def pack(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def unpack(cls: Type[P], data: bytes) -> P:
+        raise NotImplementedError
+
+    def pack_payload(self) -> bytes:
+        """Serialise ``self.payload`` whether it is a layer or raw bytes."""
+        payload = getattr(self, "payload", b"")
+        if isinstance(payload, Packet):
+            return payload.pack()
+        if payload is None:
+            return b""
+        return bytes(payload)
+
+    def find(self, layer: Type[P]) -> Optional[P]:
+        """Return the first nested layer of type ``layer``, if any.
+
+        Walks the payload chain, so ``frame.find(UDP)`` works on a full
+        Ethernet frame.
+        """
+        node: Payload = self
+        while isinstance(node, Packet):
+            if isinstance(node, layer):
+                return node
+            node = getattr(node, "payload", b"")
+        return None
+
+    def __len__(self) -> int:
+        return len(self.pack())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return type(self) is type(other) and self.pack() == other.pack()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.pack()))

@@ -1,0 +1,93 @@
+"""Minimal pcap (libpcap classic format) reader/writer.
+
+The measurement plane can persist observed frames to pcap so traces from
+the simulated home network can be inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, List, Tuple, Union
+
+from .packet import Packet
+
+_MAGIC = 0xA1B2C3D4
+_MAGIC_SWAPPED = 0xD4C3B2A1
+_VERSION_MAJOR = 2
+_VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_RECORD_HDR = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+class PcapWriter:
+    """Write Ethernet frames with timestamps to a pcap stream."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535):
+        self._stream = stream
+        self._snaplen = snaplen
+        stream.write(
+            _GLOBAL_HDR.pack(
+                _MAGIC, _VERSION_MAJOR, _VERSION_MINOR, 0, 0, snaplen, LINKTYPE_ETHERNET
+            )
+        )
+
+    def write(self, timestamp: float, frame: Union[bytes, Packet]) -> None:
+        """Append one frame captured at ``timestamp`` (seconds)."""
+        raw = frame.pack() if isinstance(frame, Packet) else bytes(frame)
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        captured = raw[: self._snaplen]
+        self._stream.write(
+            _RECORD_HDR.pack(seconds, micros, len(captured), len(raw)) + captured
+        )
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+
+class PcapReader:
+    """Iterate (timestamp, frame-bytes) records from a pcap stream."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header = stream.read(_GLOBAL_HDR.size)
+        if len(header) != _GLOBAL_HDR.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == _MAGIC:
+            self._endian = "<"
+        elif magic == _MAGIC_SWAPPED:
+            self._endian = ">"
+        else:
+            raise PcapError(f"bad pcap magic: {magic:#x}")
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+
+    def __iter__(self) -> Iterator[Tuple[float, bytes]]:
+        record = struct.Struct(self._endian + "IIII")
+        while True:
+            header = self._stream.read(record.size)
+            if not header:
+                return
+            if len(header) != record.size:
+                raise PcapError("truncated pcap record header")
+            seconds, micros, caplen, _origlen = record.unpack(header)
+            data = self._stream.read(caplen)
+            if len(data) != caplen:
+                raise PcapError("truncated pcap record body")
+            yield seconds + micros / 1_000_000, data
+
+
+def read_all(stream: BinaryIO) -> List[Tuple[float, bytes]]:
+    """Read every record from a pcap stream into a list."""
+    return list(PcapReader(stream))

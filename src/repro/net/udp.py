@@ -1,0 +1,87 @@
+"""UDP (RFC 768). Carries DNS, DHCP and the hwdb RPC protocol."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .addresses import IPv4Address
+from .checksum import internet_checksum, pseudo_header
+from .ipv4 import PROTO_UDP
+from .packet import Packet, PacketError, Payload
+
+_HEADER_LEN = 8
+
+# Well-known ports the router's services listen on.
+PORT_DNS = 53
+PORT_DHCP_SERVER = 67
+PORT_DHCP_CLIENT = 68
+PORT_HWDB_RPC = 987  # the Homework database RPC endpoint
+
+
+class UDP(Packet):
+    """A UDP datagram."""
+
+    def __init__(self, sport: int, dport: int, payload: Payload = b""):
+        for name, port in (("sport", sport), ("dport", dport)):
+            if not 0 <= int(port) <= 0xFFFF:
+                raise PacketError(f"UDP {name} out of range: {port}")
+        self.sport = int(sport)
+        self.dport = int(dport)
+        self.payload = payload
+
+    def pack(self) -> bytes:
+        """Pack without a checksum (legal for UDP over IPv4)."""
+        body = self.pack_payload()
+        length = _HEADER_LEN + len(body)
+        return (
+            self.sport.to_bytes(2, "big")
+            + self.dport.to_bytes(2, "big")
+            + length.to_bytes(2, "big")
+            + b"\x00\x00"
+            + body
+        )
+
+    def pack_with_pseudo(
+        self, src: Union[str, IPv4Address], dst: Union[str, IPv4Address]
+    ) -> bytes:
+        """Pack with the checksum over the IPv4 pseudo header."""
+        raw = bytearray(self.pack())
+        length = len(raw)
+        pseudo = pseudo_header(
+            IPv4Address(src).packed, IPv4Address(dst).packed, PROTO_UDP, length
+        )
+        csum = internet_checksum(pseudo + bytes(raw))
+        if csum == 0:  # RFC 768: transmitted as all ones
+            csum = 0xFFFF
+        raw[6:8] = csum.to_bytes(2, "big")
+        return bytes(raw)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDP":
+        if len(data) < _HEADER_LEN:
+            raise PacketError(f"UDP datagram too short: {len(data)} bytes")
+        sport = int.from_bytes(data[0:2], "big")
+        dport = int.from_bytes(data[2:4], "big")
+        length = int.from_bytes(data[4:6], "big")
+        if length < _HEADER_LEN:
+            raise PacketError(f"bad UDP length: {length}")
+        body = data[_HEADER_LEN : max(_HEADER_LEN, min(length, len(data)))]
+        payload: Payload = body
+        if body and (dport == PORT_DNS or sport == PORT_DNS):
+            from .dns_msg import DNSMessage
+
+            try:
+                payload = DNSMessage.unpack(bytes(body))
+            except PacketError:
+                pass
+        elif body and {sport, dport} & {PORT_DHCP_SERVER, PORT_DHCP_CLIENT}:
+            from .dhcp_msg import DHCPMessage
+
+            try:
+                payload = DHCPMessage.unpack(bytes(body))
+            except PacketError:
+                pass
+        return cls(sport=sport, dport=dport, payload=payload)
+
+    def __repr__(self) -> str:
+        return f"UDP(sport={self.sport}, dport={self.dport})"

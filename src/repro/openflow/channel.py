@@ -1,0 +1,66 @@
+"""The secure channel between the datapath and the NOX controller.
+
+On the Homework router both run on the same box, so the channel is a
+low-latency local TCP connection; we model it as an ordered message pipe
+with configurable one-way latency, letting benches measure how channel
+latency dominates the flow-setup path (experiment T2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .messages import Hello, OpenFlowMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+    from .datapath import Datapath
+
+ControllerSink = Callable[[OpenFlowMessage], None]
+
+
+class SecureChannel:
+    """Ordered, bidirectional OpenFlow message pipe with latency."""
+
+    def __init__(self, sim: "Simulator", latency: float = 0.0005):
+        self.sim = sim
+        self.latency = latency
+        self.datapath: Optional["Datapath"] = None
+        self._controller_sink: Optional[ControllerSink] = None
+        self.to_controller_count = 0
+        self.to_switch_count = 0
+        self.connected = False
+
+    def connect(self, datapath: "Datapath", controller_sink: ControllerSink) -> None:
+        """Wire both ends and exchange Hello messages."""
+        self.datapath = datapath
+        self._controller_sink = controller_sink
+        datapath.attach_channel(self)
+        self.connected = True
+        self.to_controller(Hello())
+        self.to_switch(Hello())
+
+    def disconnect(self) -> None:
+        self.connected = False
+
+    def to_controller(self, msg: OpenFlowMessage) -> None:
+        """Switch → controller delivery after one channel latency."""
+        if not self.connected or self._controller_sink is None:
+            return
+        self.to_controller_count += 1
+        sink = self._controller_sink
+        if self.latency <= 0:
+            sink(msg)
+        else:
+            self.sim.schedule(self.latency, lambda: sink(msg))
+
+    def to_switch(self, msg: OpenFlowMessage) -> None:
+        """Controller → switch delivery after one channel latency."""
+        if not self.connected or self.datapath is None:
+            return
+        self.to_switch_count += 1
+        datapath = self.datapath
+        if self.latency <= 0:
+            datapath.handle_message(msg)
+        else:
+            self.sim.schedule(self.latency, lambda: datapath.handle_message(msg))

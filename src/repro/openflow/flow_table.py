@@ -1,0 +1,272 @@
+"""The datapath's flow table: priority-ordered wildcard rules.
+
+"Each OpenFlow datapath contains a set of physical ports, plus a flow
+table and a set of actions associated with each flow entry."  Entries
+carry priorities, idle/hard timeouts, cookies and packet/byte counters,
+matching OpenFlow 1.0 semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.errors import DatapathError
+from .actions import ActionList
+from .match import FlowKey, Match
+
+DEFAULT_PRIORITY = 0x8000
+NO_TIMEOUT = 0.0
+
+
+class FlowEntry:
+    """One rule: match + priority + actions + timeouts + counters."""
+
+    __slots__ = (
+        "match",
+        "priority",
+        "actions",
+        "idle_timeout",
+        "hard_timeout",
+        "cookie",
+        "created_at",
+        "last_used_at",
+        "packet_count",
+        "byte_count",
+        "send_flow_removed",
+    )
+
+    def __init__(
+        self,
+        match: Match,
+        actions: ActionList,
+        priority: int = DEFAULT_PRIORITY,
+        idle_timeout: float = NO_TIMEOUT,
+        hard_timeout: float = NO_TIMEOUT,
+        cookie: int = 0,
+        created_at: float = 0.0,
+        send_flow_removed: bool = False,
+    ):
+        self.match = match
+        self.priority = int(priority)
+        self.actions = list(actions)
+        self.idle_timeout = float(idle_timeout)
+        self.hard_timeout = float(hard_timeout)
+        self.cookie = int(cookie)
+        self.created_at = float(created_at)
+        self.last_used_at = float(created_at)
+        self.packet_count = 0
+        self.byte_count = 0
+        self.send_flow_removed = bool(send_flow_removed)
+
+    def touch(self, now: float, nbytes: int) -> None:
+        """Record one matched packet."""
+        self.packet_count += 1
+        self.byte_count += nbytes
+        self.last_used_at = now
+
+    def expired(self, now: float) -> Optional[str]:
+        """Return 'idle'/'hard' when timed out at ``now``, else None."""
+        if self.hard_timeout > 0 and now - self.created_at >= self.hard_timeout:
+            return "hard"
+        if self.idle_timeout > 0 and now - self.last_used_at >= self.idle_timeout:
+            return "idle"
+        return None
+
+    @property
+    def duration(self) -> float:
+        return self.last_used_at - self.created_at
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowEntry(priority={self.priority}, match={self.match}, "
+            f"actions={self.actions}, packets={self.packet_count})"
+        )
+
+
+class FlowTable:
+    """Priority-ordered rule set with OpenFlow add/modify/delete semantics.
+
+    Lookup scans entries in descending priority (insertion order breaks
+    ties, matching NOX-era switch behaviour).  The datapath keeps its
+    exact-match fast path separately; this table is the "userspace" tier.
+    """
+
+    def __init__(self, max_entries: int = 65536):
+        self._entries: List[FlowEntry] = []
+        self.max_entries = max_entries
+        self.lookup_count = 0
+        self.matched_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def entries(self) -> List[FlowEntry]:
+        return list(self._entries)
+
+    def add(
+        self, entry: FlowEntry, replace: bool = True, check_overlap: bool = False
+    ) -> None:
+        """Insert ``entry``; replaces an identical (match, priority) rule.
+
+        ``check_overlap`` implements OpenFlow's OFPFF_CHECK_OVERLAP: the
+        insert is refused when another same-priority rule could match a
+        common packet (an ambiguity the controller asked to be told of).
+
+        Keeps the list sorted by descending priority; stable within a
+        priority so earlier rules win ties.
+        """
+        if check_overlap:
+            for existing in self._entries:
+                if existing.priority == entry.priority and _overlaps(
+                    existing.match, entry.match
+                ):
+                    raise DatapathError(
+                        f"overlap check failed: {entry.match} overlaps "
+                        f"{existing.match} at priority {entry.priority}"
+                    )
+        if replace:
+            for index, existing in enumerate(self._entries):
+                if (
+                    existing.priority == entry.priority
+                    and existing.match.same_pattern(entry.match)
+                ):
+                    self._entries[index] = entry
+                    return
+        if len(self._entries) >= self.max_entries:
+            raise DatapathError(f"flow table full ({self.max_entries} entries)")
+        index = 0
+        while (
+            index < len(self._entries)
+            and self._entries[index].priority >= entry.priority
+        ):
+            index += 1
+        self._entries.insert(index, entry)
+
+    def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Highest-priority entry matching ``key``, or None (table miss)."""
+        self.lookup_count += 1
+        for entry in self._entries:
+            if entry.match.matches(key):
+                self.matched_count += 1
+                return entry
+        return None
+
+    def modify(
+        self, match: Match, actions: ActionList, strict: bool = False,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> int:
+        """Update actions on matching entries; returns count modified."""
+        modified = 0
+        for entry in self._entries:
+            if self._mod_matches(entry, match, strict, priority):
+                entry.actions = list(actions)
+                modified += 1
+        return modified
+
+    def delete(
+        self,
+        match: Match,
+        strict: bool = False,
+        priority: int = DEFAULT_PRIORITY,
+        out_port: Optional[int] = None,
+    ) -> List[FlowEntry]:
+        """Remove matching entries; returns them (for flow-removed events)."""
+        removed: List[FlowEntry] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            if self._mod_matches(entry, match, strict, priority) and self._out_port_matches(
+                entry, out_port
+            ):
+                removed.append(entry)
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return removed
+
+    @staticmethod
+    def _out_port_matches(entry: FlowEntry, out_port: Optional[int]) -> bool:
+        if out_port is None:
+            return True
+        from .actions import Output
+
+        return any(
+            isinstance(action, Output) and action.port == out_port
+            for action in entry.actions
+        )
+
+    @staticmethod
+    def _mod_matches(
+        entry: FlowEntry, match: Match, strict: bool, priority: int
+    ) -> bool:
+        if strict:
+            return entry.priority == priority and entry.match.same_pattern(match)
+        # Loose: the given match must be equal-or-wider than the entry's.
+        return _covers(match, entry.match)
+
+    def expire(self, now: float) -> List[tuple]:
+        """Remove timed-out entries; returns [(entry, reason), ...]."""
+        expired: List[tuple] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            reason = entry.expired(now)
+            if reason is None:
+                kept.append(entry)
+            else:
+                expired.append((entry, reason))
+        self._entries = kept
+        return expired
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries = []
+        return count
+
+
+def _overlaps(a: Match, b: Match) -> bool:
+    """True when some packet could match both ``a`` and ``b``.
+
+    Field-wise: the matches are disjoint iff some field is specified by
+    both with incompatible values; otherwise a witness packet exists.
+    """
+    from .match import MATCH_FIELDS
+
+    for field in MATCH_FIELDS:
+        value_a = getattr(a, field)
+        value_b = getattr(b, field)
+        if value_a is None or value_b is None:
+            continue
+        if field in ("nw_src", "nw_dst"):
+            prefix = min(
+                getattr(a, field + "_prefix"), getattr(b, field + "_prefix")
+            )
+            mask = ((1 << prefix) - 1) << (32 - prefix) if prefix else 0
+            if (int(value_a) & mask) != (int(value_b) & mask):
+                return False
+        elif value_a != value_b:
+            return False
+    return True
+
+
+def _covers(wide: Match, narrow: Match) -> bool:
+    """True when every packet matched by ``narrow`` is matched by ``wide``."""
+    from .match import MATCH_FIELDS
+
+    for field in MATCH_FIELDS:
+        wide_value = getattr(wide, field)
+        if wide_value is None:
+            continue
+        narrow_value = getattr(narrow, field)
+        if field in ("nw_src", "nw_dst"):
+            wide_prefix = getattr(wide, field + "_prefix")
+            narrow_prefix = getattr(narrow, field + "_prefix")
+            if narrow_value is None or narrow_prefix < wide_prefix:
+                return False
+            mask = ((1 << wide_prefix) - 1) << (32 - wide_prefix) if wide_prefix else 0
+            if (int(wide_value) & mask) != (int(narrow_value) & mask):
+                return False
+        elif narrow_value != wide_value:
+            return False
+    return True

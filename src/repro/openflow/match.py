@@ -1,0 +1,297 @@
+"""OpenFlow 1.0-style flow matching.
+
+A :class:`FlowKey` is the exact header tuple the datapath extracts from a
+packet (what Open vSwitch's kernel flow extractor produces); a
+:class:`Match` is a possibly-wildcarded pattern over those fields (what
+flow-mod rules carry).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ..net.addresses import IPv4Address, MACAddress
+from ..net.arp import ARP
+from ..net.ethernet import ETH_TYPE_ARP, ETH_TYPE_IPV4, Ethernet
+from ..net.ipv4 import IPv4, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from ..net.packet import PacketError
+from ..net.tcp import TCP
+from ..net.udp import UDP
+
+MATCH_FIELDS = (
+    "in_port",
+    "dl_src",
+    "dl_dst",
+    "dl_type",
+    "nw_src",
+    "nw_dst",
+    "nw_proto",
+    "tp_src",
+    "tp_dst",
+)
+
+
+class FlowKey:
+    """The exact header tuple of one packet as seen at a datapath port."""
+
+    __slots__ = MATCH_FIELDS
+
+    def __init__(
+        self,
+        in_port: int,
+        dl_src: MACAddress,
+        dl_dst: MACAddress,
+        dl_type: int,
+        nw_src: Optional[IPv4Address] = None,
+        nw_dst: Optional[IPv4Address] = None,
+        nw_proto: Optional[int] = None,
+        tp_src: Optional[int] = None,
+        tp_dst: Optional[int] = None,
+    ):
+        self.in_port = in_port
+        self.dl_src = dl_src
+        self.dl_dst = dl_dst
+        self.dl_type = dl_type
+        self.nw_src = nw_src
+        self.nw_dst = nw_dst
+        self.nw_proto = nw_proto
+        self.tp_src = tp_src
+        self.tp_dst = tp_dst
+
+    @classmethod
+    def extract(cls, frame: Union[bytes, Ethernet], in_port: int) -> "FlowKey":
+        """Parse wire bytes into the canonical key (the "flow extract")."""
+        if isinstance(frame, (bytes, bytearray)):
+            frame = Ethernet.unpack(bytes(frame))
+        key = cls(
+            in_port=in_port,
+            dl_src=frame.src,
+            dl_dst=frame.dst,
+            dl_type=frame.ethertype,
+        )
+        if frame.ethertype == ETH_TYPE_IPV4:
+            ip = frame.find(IPv4)
+            if ip is not None:
+                key.nw_src = ip.src
+                key.nw_dst = ip.dst
+                key.nw_proto = ip.proto
+                if ip.proto == PROTO_TCP:
+                    tcp = ip.find(TCP)
+                    if tcp is not None:
+                        key.tp_src = tcp.sport
+                        key.tp_dst = tcp.dport
+                elif ip.proto == PROTO_UDP:
+                    udp = ip.find(UDP)
+                    if udp is not None:
+                        key.tp_src = udp.sport
+                        key.tp_dst = udp.dport
+                elif ip.proto == PROTO_ICMP:
+                    icmp = ip.payload
+                    if hasattr(icmp, "icmp_type"):
+                        key.tp_src = icmp.icmp_type
+                        key.tp_dst = icmp.code
+        elif frame.ethertype == ETH_TYPE_ARP:
+            arp = frame.find(ARP)
+            if arp is not None:
+                key.nw_src = arp.sender_ip
+                key.nw_dst = arp.target_ip
+                key.nw_proto = arp.opcode
+        return key
+
+    def as_tuple(self) -> Tuple:
+        """Hashable form used by the kernel-style exact-match cache."""
+        return (
+            self.in_port,
+            int(self.dl_src),
+            int(self.dl_dst),
+            self.dl_type,
+            int(self.nw_src) if self.nw_src is not None else None,
+            int(self.nw_dst) if self.nw_dst is not None else None,
+            self.nw_proto,
+            self.tp_src,
+            self.tp_dst,
+        )
+
+    def five_tuple(self) -> Optional[Tuple[str, str, int, int, int]]:
+        """(src-ip, dst-ip, proto, sport, dport) for the hwdb Flows table."""
+        if self.nw_src is None or self.nw_dst is None or self.nw_proto is None:
+            return None
+        return (
+            str(self.nw_src),
+            str(self.nw_dst),
+            self.nw_proto,
+            self.tp_src or 0,
+            self.tp_dst or 0,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowKey):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        parts = [f"in_port={self.in_port}", f"dl_src={self.dl_src}", f"dl_dst={self.dl_dst}"]
+        if self.nw_src is not None:
+            parts.append(f"{self.nw_src}->{self.nw_dst} proto={self.nw_proto}")
+        if self.tp_src is not None:
+            parts.append(f"tp {self.tp_src}->{self.tp_dst}")
+        return f"FlowKey({', '.join(parts)})"
+
+
+class Match:
+    """A wildcard-capable pattern over :data:`MATCH_FIELDS`.
+
+    ``None`` fields are wildcarded.  ``nw_src``/``nw_dst`` accept an
+    optional prefix length for CIDR matching, per OpenFlow 1.0.
+    """
+
+    __slots__ = MATCH_FIELDS + ("nw_src_prefix", "nw_dst_prefix")
+
+    def __init__(
+        self,
+        in_port: Optional[int] = None,
+        dl_src: Optional[Union[str, MACAddress]] = None,
+        dl_dst: Optional[Union[str, MACAddress]] = None,
+        dl_type: Optional[int] = None,
+        nw_src: Optional[Union[str, IPv4Address]] = None,
+        nw_dst: Optional[Union[str, IPv4Address]] = None,
+        nw_proto: Optional[int] = None,
+        tp_src: Optional[int] = None,
+        tp_dst: Optional[int] = None,
+        nw_src_prefix: int = 32,
+        nw_dst_prefix: int = 32,
+    ):
+        self.in_port = in_port
+        self.dl_src = MACAddress(dl_src) if dl_src is not None else None
+        self.dl_dst = MACAddress(dl_dst) if dl_dst is not None else None
+        self.dl_type = dl_type
+        self.nw_src = IPv4Address(nw_src) if nw_src is not None else None
+        self.nw_dst = IPv4Address(nw_dst) if nw_dst is not None else None
+        self.nw_proto = nw_proto
+        self.tp_src = tp_src
+        self.tp_dst = tp_dst
+        self.nw_src_prefix = nw_src_prefix
+        self.nw_dst_prefix = nw_dst_prefix
+
+    @classmethod
+    def from_key(cls, key: FlowKey) -> "Match":
+        """The fully-specified match for one flow key (microflow rule)."""
+        return cls(
+            in_port=key.in_port,
+            dl_src=key.dl_src,
+            dl_dst=key.dl_dst,
+            dl_type=key.dl_type,
+            nw_src=key.nw_src,
+            nw_dst=key.nw_dst,
+            nw_proto=key.nw_proto,
+            tp_src=key.tp_src,
+            tp_dst=key.tp_dst,
+        )
+
+    @classmethod
+    def any(cls) -> "Match":
+        """Match everything (the table-miss pattern)."""
+        return cls()
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no field is wildcarded (kernel-cacheable)."""
+        return (
+            self.in_port is not None
+            and self.dl_src is not None
+            and self.dl_dst is not None
+            and self.dl_type is not None
+            and self.nw_src is not None
+            and self.nw_dst is not None
+            and self.nw_proto is not None
+            and self.tp_src is not None
+            and self.tp_dst is not None
+            and self.nw_src_prefix == 32
+            and self.nw_dst_prefix == 32
+        )
+
+    def wildcard_count(self) -> int:
+        """Number of wildcarded fields (0 for exact matches)."""
+        count = 0
+        for field in MATCH_FIELDS:
+            if getattr(self, field) is None:
+                count += 1
+        return count
+
+    @staticmethod
+    def _prefix_match(pattern: IPv4Address, prefixlen: int, value: Optional[IPv4Address]) -> bool:
+        if value is None:
+            return False
+        if prefixlen <= 0:
+            return True
+        mask = ((1 << prefixlen) - 1) << (32 - prefixlen)
+        return (int(pattern) & mask) == (int(value) & mask)
+
+    def matches(self, key: FlowKey) -> bool:
+        """True when this pattern covers ``key``."""
+        if self.in_port is not None and self.in_port != key.in_port:
+            return False
+        if self.dl_src is not None and self.dl_src != key.dl_src:
+            return False
+        if self.dl_dst is not None and self.dl_dst != key.dl_dst:
+            return False
+        if self.dl_type is not None and self.dl_type != key.dl_type:
+            return False
+        if self.nw_src is not None and not self._prefix_match(
+            self.nw_src, self.nw_src_prefix, key.nw_src
+        ):
+            return False
+        if self.nw_dst is not None and not self._prefix_match(
+            self.nw_dst, self.nw_dst_prefix, key.nw_dst
+        ):
+            return False
+        if self.nw_proto is not None and self.nw_proto != key.nw_proto:
+            return False
+        if self.tp_src is not None and self.tp_src != key.tp_src:
+            return False
+        if self.tp_dst is not None and self.tp_dst != key.tp_dst:
+            return False
+        return True
+
+    def same_pattern(self, other: "Match") -> bool:
+        """Field-for-field equality (strict flow-mod matching)."""
+        for field in MATCH_FIELDS:
+            if getattr(self, field) != getattr(other, field):
+                return False
+        return (
+            self.nw_src_prefix == other.nw_src_prefix
+            and self.nw_dst_prefix == other.nw_dst_prefix
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self.same_pattern(other)
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple(
+                int(v) if isinstance(v, (MACAddress, IPv4Address)) else v
+                for v in (getattr(self, f) for f in MATCH_FIELDS)
+            )
+            + (self.nw_src_prefix, self.nw_dst_prefix)
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for field in MATCH_FIELDS:
+            value = getattr(self, field)
+            if value is not None:
+                parts.append(f"{field}={value}")
+        return f"Match({', '.join(parts) if parts else '*'})"
+
+
+def extract_key(frame: Union[bytes, Ethernet], in_port: int) -> Optional[FlowKey]:
+    """Extract a flow key, returning None for unparseable frames."""
+    try:
+        return FlowKey.extract(frame, in_port)
+    except PacketError:
+        return None

@@ -1,0 +1,151 @@
+"""The policy model.
+
+A :class:`Policy` is what Figure 4's cartoon compiles to: for a set of
+target devices, a network-access stance plus DNS site restrictions, under
+a schedule, optionally gated by physical mediation (the USB key).
+
+Semantics of the USB gate, per the paper: restrictions "are only lifted
+once a suitably responsible adult inserts the appropriate USB storage
+key" — i.e. the policy's restrictions apply while **locked**; inserting
+the key **unlocks** (suspends) them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.errors import PolicyError
+from ..net.addresses import MACAddress
+from .schedule import Schedule
+
+# Network stances.
+NET_ALLOW = "allow"
+NET_DENY = "deny"
+
+# DNS stances.
+DNS_ALL = "all"  # no DNS restriction
+DNS_BLOCK = "block"  # block the listed sites
+DNS_ONLY = "only"  # allow only the listed sites
+
+_policy_ids = itertools.count(1)
+
+
+class Policy:
+    """One installed policy."""
+
+    def __init__(
+        self,
+        name: str,
+        targets: Iterable[Union[str, MACAddress]],
+        network: str = NET_ALLOW,
+        dns_mode: str = DNS_ALL,
+        sites: Optional[Iterable[str]] = None,
+        schedule: Optional[Schedule] = None,
+        usb_gated: bool = False,
+        unlock_key_id: str = "",
+        policy_id: Optional[int] = None,
+    ):
+        if network not in (NET_ALLOW, NET_DENY):
+            raise PolicyError(f"bad network stance {network!r}")
+        if dns_mode not in (DNS_ALL, DNS_BLOCK, DNS_ONLY):
+            raise PolicyError(f"bad dns mode {dns_mode!r}")
+        if dns_mode != DNS_ALL and not sites:
+            raise PolicyError(f"dns mode {dns_mode!r} needs a site list")
+        self.id = policy_id if policy_id is not None else next(_policy_ids)
+        self.name = name
+        self.targets: List[MACAddress] = [MACAddress(t) for t in targets]
+        if not self.targets:
+            raise PolicyError("policy needs at least one target device")
+        self.network = network
+        self.dns_mode = dns_mode
+        self.sites: List[str] = [s.rstrip(".").lower() for s in (sites or [])]
+        self.schedule = schedule or Schedule.always()
+        self.usb_gated = bool(usb_gated)
+        self.unlock_key_id = unlock_key_id
+        self.enabled = True
+
+    def applies_to(self, mac: Union[str, MACAddress]) -> bool:
+        return MACAddress(mac) in self.targets
+
+    def active(self, now: float, unlocked_keys: Iterable[str] = ()) -> bool:
+        """Is this policy's restriction in force at ``now``?
+
+        USB-gated policies are suspended while their key is inserted.
+        """
+        if not self.enabled:
+            return False
+        if self.usb_gated and self.unlock_key_id in set(unlocked_keys):
+            return False
+        return self.schedule.matches(now)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "targets": [str(t) for t in self.targets],
+            "network": self.network,
+            "dns_mode": self.dns_mode,
+            "sites": list(self.sites),
+            "schedule": self.schedule.to_dict(),
+            "usb_gated": self.usb_gated,
+            "unlock_key_id": self.unlock_key_id,
+            "enabled": self.enabled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Policy":
+        return cls(
+            name=str(data.get("name", "unnamed")),
+            targets=list(data.get("targets", [])),  # type: ignore[arg-type]
+            network=str(data.get("network", NET_ALLOW)),
+            dns_mode=str(data.get("dns_mode", DNS_ALL)),
+            sites=list(data.get("sites", [])),  # type: ignore[arg-type]
+            schedule=Schedule.from_dict(data.get("schedule") or {}),  # type: ignore[arg-type]
+            usb_gated=bool(data.get("usb_gated", False)),
+            unlock_key_id=str(data.get("unlock_key_id", "")),
+            policy_id=data.get("id"),  # type: ignore[arg-type]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Policy(#{self.id} {self.name!r}, targets={len(self.targets)}, "
+            f"net={self.network}, dns={self.dns_mode}:{self.sites}, "
+            f"usb_gated={self.usb_gated})"
+        )
+
+
+class Restrictions:
+    """The compiled per-device outcome at one instant."""
+
+    __slots__ = ("network_allowed", "dns_mode", "sites", "source_policies")
+
+    def __init__(
+        self,
+        network_allowed: bool = True,
+        dns_mode: str = DNS_ALL,
+        sites: Optional[List[str]] = None,
+        source_policies: Optional[List[int]] = None,
+    ):
+        self.network_allowed = network_allowed
+        self.dns_mode = dns_mode
+        self.sites = sites or []
+        self.source_policies = source_policies or []
+
+    @property
+    def unrestricted(self) -> bool:
+        return self.network_allowed and self.dns_mode == DNS_ALL
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "network_allowed": self.network_allowed,
+            "dns_mode": self.dns_mode,
+            "sites": list(self.sites),
+            "source_policies": list(self.source_policies),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Restrictions(network={'allow' if self.network_allowed else 'deny'}, "
+            f"dns={self.dns_mode}:{self.sites})"
+        )

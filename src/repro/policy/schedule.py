@@ -1,0 +1,127 @@
+"""Time conditions for policies.
+
+Figure 4's example — "the kids can only use Facebook on weekdays after
+they've finished their homework" — needs day-of-week and time-of-day
+predicates over the simulation clock.  Simulated time maps onto a civil
+calendar via a configurable epoch (sim t=0 is Monday 00:00 by default).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+DAY_NAMES = ["monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday"]
+WEEKDAYS = (0, 1, 2, 3, 4)
+WEEKEND = (5, 6)
+
+
+def day_of_week(now: float, epoch_day: int = 0) -> int:
+    """0=Monday ... 6=Sunday for simulated time ``now``."""
+    days = int(now // SECONDS_PER_DAY) + epoch_day
+    return days % 7
+
+
+def time_of_day(now: float) -> float:
+    """Seconds since local midnight."""
+    return now % SECONDS_PER_DAY
+
+
+def parse_hhmm(text: str) -> float:
+    """``"17:30"`` → seconds since midnight."""
+    hours_s, _, minutes_s = text.partition(":")
+    hours = int(hours_s)
+    minutes = int(minutes_s) if minutes_s else 0
+    if not (0 <= hours <= 24 and 0 <= minutes < 60):
+        raise ValueError(f"bad time of day {text!r}")
+    return hours * 3600.0 + minutes * 60.0
+
+
+class TimeWindow:
+    """A daily start-end window (end may wrap past midnight)."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: float, end: float):
+        self.start = float(start) % SECONDS_PER_DAY
+        self.end = float(end) % SECONDS_PER_DAY if end != SECONDS_PER_DAY else SECONDS_PER_DAY
+
+    @classmethod
+    def parse(cls, start: str, end: str) -> "TimeWindow":
+        return cls(parse_hhmm(start), parse_hhmm(end))
+
+    def contains(self, now: float) -> bool:
+        tod = time_of_day(now)
+        if self.start <= self.end:
+            return self.start <= tod < self.end
+        # Wrapping window, e.g. 22:00-06:00.
+        return tod >= self.start or tod < self.end
+
+    def __repr__(self) -> str:
+        def fmt(seconds: float) -> str:
+            return f"{int(seconds // 3600):02d}:{int(seconds % 3600 // 60):02d}"
+
+        return f"TimeWindow({fmt(self.start)}-{fmt(self.end)})"
+
+
+class Schedule:
+    """Days-of-week plus optional daily windows.
+
+    An empty schedule is "always".  ``matches(now)`` is the activation
+    predicate the policy compiler evaluates.
+    """
+
+    def __init__(
+        self,
+        days: Optional[Iterable[int]] = None,
+        windows: Optional[Sequence[TimeWindow]] = None,
+        epoch_day: int = 0,
+    ):
+        self.days: Optional[Tuple[int, ...]] = tuple(sorted(set(days))) if days is not None else None
+        self.windows: List[TimeWindow] = list(windows or [])
+        self.epoch_day = epoch_day
+        if self.days is not None:
+            for day in self.days:
+                if not 0 <= day <= 6:
+                    raise ValueError(f"bad day of week {day}")
+
+    @classmethod
+    def always(cls) -> "Schedule":
+        return cls()
+
+    @classmethod
+    def weekdays(cls, windows: Optional[Sequence[TimeWindow]] = None) -> "Schedule":
+        return cls(days=WEEKDAYS, windows=windows)
+
+    @classmethod
+    def weekend(cls, windows: Optional[Sequence[TimeWindow]] = None) -> "Schedule":
+        return cls(days=WEEKEND, windows=windows)
+
+    def matches(self, now: float) -> bool:
+        if self.days is not None and day_of_week(now, self.epoch_day) not in self.days:
+            return False
+        if not self.windows:
+            return True
+        return any(window.contains(now) for window in self.windows)
+
+    def to_dict(self) -> dict:
+        return {
+            "days": list(self.days) if self.days is not None else None,
+            "windows": [[w.start, w.end] for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        windows = [TimeWindow(s, e) for s, e in data.get("windows", [])]
+        days = data.get("days")
+        return cls(days=days, windows=windows)
+
+    def __repr__(self) -> str:
+        if self.days is None and not self.windows:
+            return "Schedule(always)"
+        day_names = (
+            ",".join(DAY_NAMES[d][:3] for d in self.days) if self.days is not None else "all"
+        )
+        return f"Schedule(days={day_names}, windows={self.windows})"

@@ -1,0 +1,6 @@
+"""Router services: the paper's NOX modules and their supporting parts."""
+
+from .nat import NatBinding, NatTable
+from .routing import RouterCore
+
+__all__ = ["RouterCore", "NatTable", "NatBinding"]

@@ -1,0 +1,21 @@
+"""The control API NOX module: HTTP layer, REST router, endpoints."""
+
+from .api import ControlApi
+from .http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    error_response,
+    json_response,
+)
+from .rest import RestRouter
+
+__all__ = [
+    "ControlApi",
+    "RestRouter",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpError",
+    "json_response",
+    "error_response",
+]

@@ -1,0 +1,40 @@
+"""The Homework DHCP server NOX module: pools, leases, policy, server."""
+
+from .leases import (
+    Lease,
+    LeaseDatabase,
+    STATE_BOUND,
+    STATE_EXPIRED,
+    STATE_OFFERED,
+    STATE_RELEASED,
+)
+from .policy import (
+    DENIED,
+    DeviceRecord,
+    DevicePolicyStore,
+    PENDING,
+    PERMITTED,
+    VALID_STATES,
+)
+from .pool import AddressPool, Allocation, FlatPool, IsolatingPool
+from .server import DhcpServer
+
+__all__ = [
+    "DhcpServer",
+    "Lease",
+    "LeaseDatabase",
+    "STATE_OFFERED",
+    "STATE_BOUND",
+    "STATE_EXPIRED",
+    "STATE_RELEASED",
+    "DevicePolicyStore",
+    "DeviceRecord",
+    "PENDING",
+    "PERMITTED",
+    "DENIED",
+    "VALID_STATES",
+    "AddressPool",
+    "Allocation",
+    "IsolatingPool",
+    "FlatPool",
+]

@@ -1,0 +1,144 @@
+"""Per-device access policy for the DHCP server.
+
+Figure 3's control interface lets non-expert users "detect, interrogate
+and supply metadata for devices requesting access, and to control the
+DHCP server on a case-by-case basis by dragging the device's tab into the
+appropriate permitted/denied category".  This is that state: every MAC is
+PENDING, PERMITTED or DENIED, with user-supplied metadata attached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ...net.addresses import MACAddress
+
+PENDING = "pending"
+PERMITTED = "permitted"
+DENIED = "denied"
+
+VALID_STATES = (PENDING, PERMITTED, DENIED)
+
+
+class DeviceRecord:
+    """Everything the router knows about one device."""
+
+    __slots__ = ("mac", "state", "metadata", "first_seen", "last_seen", "hostname")
+
+    def __init__(self, mac: MACAddress, state: str, first_seen: float):
+        self.mac = mac
+        self.state = state
+        self.metadata: Dict[str, str] = {}
+        self.first_seen = first_seen
+        self.last_seen = first_seen
+        self.hostname = ""
+
+    @property
+    def display_name(self) -> str:
+        """User-supplied name, falling back to hostname then MAC."""
+        return self.metadata.get("name") or self.hostname or str(self.mac)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mac": str(self.mac),
+            "state": self.state,
+            "metadata": dict(self.metadata),
+            "hostname": self.hostname,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "display_name": self.display_name,
+        }
+
+    def __repr__(self) -> str:
+        return f"DeviceRecord({self.mac}, {self.state}, {self.display_name!r})"
+
+
+class DevicePolicyStore:
+    """Tracks device access states; the DHCP server consults this.
+
+    ``default_permit=False`` (the paper's deployment) means unknown
+    devices sit in PENDING until a user permits them via the control
+    interface — the DHCP server withholds addresses meanwhile.
+    """
+
+    def __init__(self, default_permit: bool = False):
+        self.default_permit = default_permit
+        self._devices: Dict[MACAddress, DeviceRecord] = {}
+        self._listeners: List[Callable[[DeviceRecord, str], None]] = []
+
+    def on_change(self, listener: Callable[[DeviceRecord, str], None]) -> None:
+        """``listener(record, old_state)`` fires on every state change."""
+        self._listeners.append(listener)
+
+    def observe(self, mac: Union[str, MACAddress], now: float, hostname: str = "") -> DeviceRecord:
+        """Record that ``mac`` was seen requesting access."""
+        mac = MACAddress(mac)
+        record = self._devices.get(mac)
+        if record is None:
+            state = PERMITTED if self.default_permit else PENDING
+            record = DeviceRecord(mac, state, now)
+            self._devices[mac] = record
+            self._notify(record, "")
+        record.last_seen = now
+        if hostname:
+            record.hostname = hostname
+        return record
+
+    def set_state(self, mac: Union[str, MACAddress], state: str, now: float = 0.0) -> DeviceRecord:
+        if state not in VALID_STATES:
+            raise ValueError(f"bad device state {state!r}")
+        mac = MACAddress(mac)
+        record = self._devices.get(mac)
+        if record is None:
+            record = DeviceRecord(mac, state, now)
+            self._devices[mac] = record
+            self._notify(record, "")
+            return record
+        old = record.state
+        if old != state:
+            record.state = state
+            self._notify(record, old)
+        return record
+
+    def permit(self, mac: Union[str, MACAddress], now: float = 0.0) -> DeviceRecord:
+        return self.set_state(mac, PERMITTED, now)
+
+    def deny(self, mac: Union[str, MACAddress], now: float = 0.0) -> DeviceRecord:
+        return self.set_state(mac, DENIED, now)
+
+    def set_metadata(self, mac: Union[str, MACAddress], **metadata: str) -> DeviceRecord:
+        mac = MACAddress(mac)
+        record = self._devices.get(mac)
+        if record is None:
+            record = DeviceRecord(mac, PENDING, 0.0)
+            self._devices[mac] = record
+        record.metadata.update({k: str(v) for k, v in metadata.items()})
+        return record
+
+    def is_permitted(self, mac: Union[str, MACAddress]) -> bool:
+        record = self._devices.get(MACAddress(mac))
+        if record is None:
+            return self.default_permit
+        return record.state == PERMITTED
+
+    def state_of(self, mac: Union[str, MACAddress]) -> str:
+        record = self._devices.get(MACAddress(mac))
+        if record is None:
+            return PERMITTED if self.default_permit else PENDING
+        return record.state
+
+    def get(self, mac: Union[str, MACAddress]) -> Optional[DeviceRecord]:
+        return self._devices.get(MACAddress(mac))
+
+    def devices(self, state: Optional[str] = None) -> List[DeviceRecord]:
+        records = sorted(self._devices.values(), key=lambda r: int(r.mac))
+        if state is None:
+            return records
+        return [r for r in records if r.state == state]
+
+    def _notify(self, record: DeviceRecord, old_state: str) -> None:
+        for listener in self._listeners:
+            listener(record, old_state)
+
+    def __len__(self) -> int:
+        return len(self._devices)

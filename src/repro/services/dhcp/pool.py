@@ -1,0 +1,177 @@
+"""DHCP address pools.
+
+The Homework DHCP server "manages DHCP allocations to ensure that all
+traffic flows are visible to software running on the router, avoiding
+direct Ethernet-layer communication between devices."  The
+:class:`IsolatingPool` implements that: each device receives its own /30
+(device address + router-side gateway), so no two devices ever share a
+subnet and every packet must cross the router.  :class:`FlatPool` is the
+conventional shared-subnet alternative kept for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from ...core.errors import ServiceError
+from ...net.addresses import IPv4Address, IPv4Network, MACAddress
+
+
+class Allocation:
+    """One device's addressing: its IP, gateway and enclosing network."""
+
+    __slots__ = ("ip", "gateway", "network")
+
+    def __init__(self, ip: IPv4Address, gateway: IPv4Address, network: IPv4Network):
+        self.ip = ip
+        self.gateway = gateway
+        self.network = network
+
+    @property
+    def netmask(self) -> IPv4Address:
+        return self.network.netmask
+
+    def __repr__(self) -> str:
+        return f"Allocation(ip={self.ip}, gw={self.gateway}, net={self.network})"
+
+
+class AddressPool:
+    """Base interface: allocate / release / lookup by MAC."""
+
+    def allocate(self, mac: Union[str, MACAddress]) -> Allocation:
+        raise NotImplementedError
+
+    def release(self, mac: Union[str, MACAddress]) -> None:
+        raise NotImplementedError
+
+    def lookup(self, mac: Union[str, MACAddress]) -> Optional[Allocation]:
+        raise NotImplementedError
+
+    def allocation_for_ip(self, ip: Union[str, IPv4Address]) -> Optional[Allocation]:
+        raise NotImplementedError
+
+
+class IsolatingPool(AddressPool):
+    """Per-device /30 allocation out of the home subnet.
+
+    Within each /30 (addresses .0-.3): network, gateway (router side,
+    proxy-ARP'd by the router), device, broadcast.  Devices re-joining
+    get their previous allocation back (stable addressing, which the
+    control UI's device metadata relies on).
+    """
+
+    def __init__(self, subnet: IPv4Network, reserve_first: int = 1):
+        if subnet.prefixlen > 30:
+            raise ServiceError(f"subnet {subnet} too small for /30 isolation")
+        self.subnet = subnet
+        self._subnets: Iterator[IPv4Network] = subnet.subnets(30)
+        # Skip the /30s covering the router's own address block.
+        self._skipped: List[IPv4Network] = []
+        for _ in range(reserve_first):
+            self._skipped.append(next(self._subnets))
+        self._by_mac: Dict[MACAddress, Allocation] = {}
+        self._by_ip: Dict[IPv4Address, Allocation] = {}
+        self._gateways: Dict[IPv4Address, MACAddress] = {}
+        self._released: List[IPv4Network] = []
+
+    def allocate(self, mac: Union[str, MACAddress]) -> Allocation:
+        mac = MACAddress(mac)
+        existing = self._by_mac.get(mac)
+        if existing is not None:
+            return existing
+        if self._released:
+            network = self._released.pop(0)
+        else:
+            try:
+                network = next(self._subnets)
+            except StopIteration:
+                raise ServiceError(f"address pool {self.subnet} exhausted") from None
+        base = network.network_address
+        allocation = Allocation(ip=base + 2, gateway=base + 1, network=network)
+        self._by_mac[mac] = allocation
+        self._by_ip[allocation.ip] = allocation
+        self._gateways[allocation.gateway] = mac
+        return allocation
+
+    def release(self, mac: Union[str, MACAddress]) -> None:
+        mac = MACAddress(mac)
+        allocation = self._by_mac.pop(mac, None)
+        if allocation is None:
+            return
+        del self._by_ip[allocation.ip]
+        del self._gateways[allocation.gateway]
+        self._released.append(allocation.network)
+
+    def lookup(self, mac: Union[str, MACAddress]) -> Optional[Allocation]:
+        return self._by_mac.get(MACAddress(mac))
+
+    def allocation_for_ip(self, ip: Union[str, IPv4Address]) -> Optional[Allocation]:
+        return self._by_ip.get(IPv4Address(ip))
+
+    def is_gateway(self, ip: Union[str, IPv4Address]) -> bool:
+        """True when ``ip`` is a router-side gateway address (proxy-ARP)."""
+        return IPv4Address(ip) in self._gateways
+
+    def allocations(self) -> Dict[MACAddress, Allocation]:
+        return dict(self._by_mac)
+
+    def __len__(self) -> int:
+        return len(self._by_mac)
+
+
+class FlatPool(AddressPool):
+    """Conventional shared-subnet pool (the non-isolating baseline).
+
+    All devices share the home subnet and the router's address as the
+    gateway — device-to-device traffic stays at Ethernet layer and is
+    invisible to the router, which is precisely what the paper's design
+    avoids.  Included for the ablation comparison (bench T3).
+    """
+
+    def __init__(self, subnet: IPv4Network, gateway: IPv4Address, first_offset: int = 10):
+        self.subnet = subnet
+        self.gateway = gateway
+        self._next = int(subnet.network_address) + first_offset
+        self._by_mac: Dict[MACAddress, Allocation] = {}
+        self._by_ip: Dict[IPv4Address, Allocation] = {}
+        self._released: List[IPv4Address] = []
+
+    def allocate(self, mac: Union[str, MACAddress]) -> Allocation:
+        mac = MACAddress(mac)
+        existing = self._by_mac.get(mac)
+        if existing is not None:
+            return existing
+        if self._released:
+            ip = self._released.pop(0)
+        else:
+            ip = IPv4Address(self._next)
+            self._next += 1
+            if ip not in self.subnet or ip == self.subnet.broadcast_address:
+                raise ServiceError(f"address pool {self.subnet} exhausted")
+        allocation = Allocation(ip=ip, gateway=self.gateway, network=self.subnet)
+        self._by_mac[mac] = allocation
+        self._by_ip[ip] = allocation
+        return allocation
+
+    def release(self, mac: Union[str, MACAddress]) -> None:
+        mac = MACAddress(mac)
+        allocation = self._by_mac.pop(mac, None)
+        if allocation is None:
+            return
+        del self._by_ip[allocation.ip]
+        self._released.append(allocation.ip)
+
+    def lookup(self, mac: Union[str, MACAddress]) -> Optional[Allocation]:
+        return self._by_mac.get(MACAddress(mac))
+
+    def allocation_for_ip(self, ip: Union[str, IPv4Address]) -> Optional[Allocation]:
+        return self._by_ip.get(IPv4Address(ip))
+
+    def is_gateway(self, ip: Union[str, IPv4Address]) -> bool:
+        return IPv4Address(ip) == self.gateway
+
+    def allocations(self) -> Dict[MACAddress, Allocation]:
+        return dict(self._by_mac)
+
+    def __len__(self) -> int:
+        return len(self._by_mac)

@@ -1,0 +1,26 @@
+"""The Homework DNS proxy NOX module: cache, filter, upstream, proxy."""
+
+from .cache import DnsCache, RequestedNames
+from .filter import (
+    DeviceRule,
+    MODE_ALLOW,
+    MODE_DENY,
+    SiteFilter,
+    domain_matches,
+)
+from .proxy import DnsProxy, FLOW_ALLOWED, FLOW_BLOCKED
+from .upstream import UpstreamResolver
+
+__all__ = [
+    "DnsProxy",
+    "FLOW_ALLOWED",
+    "FLOW_BLOCKED",
+    "DnsCache",
+    "RequestedNames",
+    "SiteFilter",
+    "DeviceRule",
+    "MODE_ALLOW",
+    "MODE_DENY",
+    "domain_matches",
+    "UpstreamResolver",
+]

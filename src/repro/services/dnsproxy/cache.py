@@ -1,0 +1,119 @@
+"""DNS proxy caches.
+
+Two structures: a name→address cache with TTL (saves upstream round
+trips), and the per-device *requested names* map — which addresses each
+device legitimately resolved, the basis of the proxy's flow admission
+("flows not matching previously requested names" trigger reverse checks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ...net.addresses import IPv4Address
+
+
+class DnsCache:
+    """TTL'd name→address cache."""
+
+    def __init__(self, default_ttl: float = 300.0, max_entries: int = 4096):
+        self.default_ttl = default_ttl
+        self.max_entries = max_entries
+        self._entries: Dict[str, Tuple[IPv4Address, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str, now: float) -> Optional[IPv4Address]:
+        name = name.rstrip(".").lower()
+        entry = self._entries.get(name)
+        if entry is None:
+            self.misses += 1
+            return None
+        address, expires = entry
+        if now >= expires:
+            del self._entries[name]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return address
+
+    def put(
+        self,
+        name: str,
+        address: Union[str, IPv4Address],
+        now: float,
+        ttl: Optional[float] = None,
+    ) -> None:
+        if len(self._entries) >= self.max_entries:
+            self._evict_expired(now)
+            if len(self._entries) >= self.max_entries:
+                # Evict the soonest-to-expire entry.
+                victim = min(self._entries, key=lambda k: self._entries[k][1])
+                del self._entries[victim]
+        expires = now + (ttl if ttl is not None else self.default_ttl)
+        self._entries[name.rstrip(".").lower()] = (IPv4Address(address), expires)
+
+    def _evict_expired(self, now: float) -> None:
+        stale = [name for name, (_, exp) in self._entries.items() if now >= exp]
+        for name in stale:
+            del self._entries[name]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RequestedNames:
+    """Per-device record of resolved (name, address) bindings."""
+
+    def __init__(self, binding_ttl: float = 3600.0):
+        self.binding_ttl = binding_ttl
+        # device ip -> {address -> (name, expires)}
+        self._bindings: Dict[IPv4Address, Dict[IPv4Address, Tuple[str, float]]] = {}
+
+    def record(
+        self,
+        device_ip: Union[str, IPv4Address],
+        name: str,
+        address: Union[str, IPv4Address],
+        now: float,
+    ) -> None:
+        device_ip = IPv4Address(device_ip)
+        bucket = self._bindings.setdefault(device_ip, {})
+        bucket[IPv4Address(address)] = (
+            name.rstrip(".").lower(),
+            now + self.binding_ttl,
+        )
+
+    def lookup(
+        self,
+        device_ip: Union[str, IPv4Address],
+        address: Union[str, IPv4Address],
+        now: float,
+    ) -> Optional[str]:
+        """The name ``device_ip`` resolved for ``address``, if still valid."""
+        bucket = self._bindings.get(IPv4Address(device_ip))
+        if not bucket:
+            return None
+        entry = bucket.get(IPv4Address(address))
+        if entry is None:
+            return None
+        name, expires = entry
+        if now >= expires:
+            del bucket[IPv4Address(address)]
+            return None
+        return name
+
+    def names_for(self, device_ip: Union[str, IPv4Address], now: float) -> Set[str]:
+        bucket = self._bindings.get(IPv4Address(device_ip), {})
+        return {name for name, exp in bucket.values() if now < exp}
+
+    def forget_device(self, device_ip: Union[str, IPv4Address]) -> None:
+        self._bindings.pop(IPv4Address(device_ip), None)
+
+    def devices(self) -> List[IPv4Address]:
+        return list(self._bindings)

@@ -1,0 +1,255 @@
+"""The DNS proxy NOX component.
+
+"The second intercepts outgoing DNS requests, performing reverse lookups
+on flows not matching previously requested names, to ensure that upstream
+communication is only allowed between permitted devices and sites."
+
+Interception: DNS packets always arrive as packet-ins (the routing
+component never installs flows for UDP/53), this component parses the
+query, applies the per-device :class:`SiteFilter`, and answers directly —
+from cache, from upstream, or with NXDOMAIN for blocked names.  The
+routing component calls :meth:`check_flow` before admitting a new
+upstream flow; an address the device never resolved triggers a reverse
+lookup and a fresh filter decision.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, TYPE_CHECKING
+
+from ...core.config import RouterConfig
+from ...core.events import EventBus
+from ...net.addresses import IPv4Address, MACAddress
+from ...net.dns_msg import (
+    DNSMessage,
+    DNSRecord,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    TYPE_A,
+)
+from ...net.ethernet import ETH_TYPE_IPV4, Ethernet
+from ...net.ipv4 import IPv4, PROTO_UDP
+from ...net.packet import PacketError
+from ...net.udp import PORT_DNS, UDP
+from ...nox.component import CONTINUE, Component, STOP
+from ...nox.controller import EV_PACKET_IN
+from ...openflow.actions import output
+from ...openflow.match import extract_key
+from ...openflow.messages import PacketIn
+from .cache import DnsCache, RequestedNames
+from .filter import SiteFilter
+from .upstream import UpstreamResolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dhcp.server import DhcpServer
+
+logger = logging.getLogger(__name__)
+
+FLOW_ALLOWED = "allowed"
+FLOW_BLOCKED = "blocked"
+
+
+class DnsProxy(Component):
+    """The paper's DNS proxy module."""
+
+    name = "dns_proxy"
+
+    def __init__(
+        self,
+        controller,
+        config: RouterConfig,
+        bus: EventBus,
+        upstream: UpstreamResolver,
+        dhcp: "DhcpServer",
+        site_filter: Optional[SiteFilter] = None,
+        cache_ttl: float = 300.0,
+    ):
+        super().__init__(controller)
+        self.config = config
+        self.bus = bus
+        self.upstream = upstream
+        self.dhcp = dhcp
+        self.filter = site_filter or SiteFilter()
+        self.cache = DnsCache(default_ttl=cache_ttl)
+        self.requested = RequestedNames()
+
+        self.queries_seen = 0
+        self.queries_blocked = 0
+        self.cache_answers = 0
+        self.upstream_answers = 0
+        self.nxdomain_answers = 0
+        self.flow_checks = 0
+        self.flow_blocks = 0
+
+    def install(self) -> None:
+        # Priority 50: after DHCP (10), before routing (100).
+        self.register_handler(EV_PACKET_IN, self.handle_packet_in, priority=50)
+
+    # ------------------------------------------------------------------
+    # Query interception
+    # ------------------------------------------------------------------
+
+    def handle_packet_in(self, msg: PacketIn) -> int:
+        key = extract_key(msg.data, msg.in_port)
+        if key is None or key.nw_proto != PROTO_UDP or key.tp_dst != PORT_DNS:
+            return CONTINUE
+        try:
+            frame = Ethernet.unpack(msg.data)
+        except PacketError:
+            return CONTINUE
+        ip = frame.find(IPv4)
+        udp = frame.find(UDP)
+        if ip is None or udp is None:
+            return CONTINUE
+        try:
+            query = DNSMessage.unpack(udp.pack_payload())
+        except PacketError:
+            return STOP  # malformed DNS to us: swallow
+        if query.is_response or not query.questions:
+            return STOP
+        self.queries_seen += 1
+        self._answer(query, frame, ip, udp, msg.in_port)
+        return STOP
+
+    def _answer(
+        self,
+        query: DNSMessage,
+        frame: Ethernet,
+        ip: IPv4,
+        udp: UDP,
+        in_port: int,
+    ) -> None:
+        name = query.qname or ""
+        device_ip = ip.src
+        device_mac = frame.src
+        question = query.questions[0]
+
+        if not self.filter.permits(device_mac, name):
+            self.queries_blocked += 1
+            self.nxdomain_answers += 1
+            self._emit(device_ip, name, None, allowed=False)
+            self._reply(query.respond(rcode=RCODE_NXDOMAIN), frame, ip, udp, in_port)
+            return
+
+        if question.qtype != TYPE_A:
+            self._reply(query.respond(rcode=RCODE_REFUSED), frame, ip, udp, in_port)
+            return
+
+        cached = self.cache.get(name, self.now)
+        if cached is not None:
+            self.cache_answers += 1
+            self._finish(query, frame, ip, udp, in_port, name, cached)
+            return
+
+        def resolved(address: Optional[IPv4Address]) -> None:
+            if address is None:
+                self.nxdomain_answers += 1
+                self._emit(device_ip, name, None, allowed=True)
+                self._reply(
+                    query.respond(rcode=RCODE_NXDOMAIN), frame, ip, udp, in_port
+                )
+                return
+            self.upstream_answers += 1
+            self.cache.put(name, address, self.now)
+            self._finish(query, frame, ip, udp, in_port, name, address)
+
+        self.upstream.resolve(name, resolved)
+
+    def _finish(
+        self,
+        query: DNSMessage,
+        frame: Ethernet,
+        ip: IPv4,
+        udp: UDP,
+        in_port: int,
+        name: str,
+        address: IPv4Address,
+    ) -> None:
+        # Remember the binding: this device may now open flows to address.
+        self.requested.record(ip.src, name, address, self.now)
+        self._emit(ip.src, name, address, allowed=True)
+        response = query.respond([DNSRecord.a(name, address)])
+        self._reply(response, frame, ip, udp, in_port)
+
+    def _reply(
+        self,
+        response: DNSMessage,
+        frame: Ethernet,
+        ip: IPv4,
+        udp: UDP,
+        in_port: int,
+    ) -> None:
+        reply_udp = UDP(sport=PORT_DNS, dport=udp.sport, payload=response.pack())
+        reply_ip = IPv4(src=ip.dst, dst=ip.src, proto=PROTO_UDP, payload=reply_udp)
+        reply_frame = Ethernet(
+            dst=frame.src,
+            src=self.config.router_mac,
+            ethertype=ETH_TYPE_IPV4,
+            payload=reply_ip,
+        )
+        self.controller.send_packet(reply_frame.pack(), output(in_port))
+
+    def _emit(
+        self,
+        device_ip: IPv4Address,
+        name: str,
+        address: Optional[IPv4Address],
+        allowed: bool,
+    ) -> None:
+        self.bus.emit(
+            "dns.query",
+            timestamp=self.now,
+            device_ip=str(device_ip),
+            name=name,
+            resolved_ip=str(address) if address is not None else "0.0.0.0",
+            allowed=allowed,
+        )
+
+    # ------------------------------------------------------------------
+    # Flow admission (called by the routing component)
+    # ------------------------------------------------------------------
+
+    def check_flow(self, device_ip, dst_ip) -> str:
+        """Admit or block a new upstream flow from ``device_ip`` to ``dst_ip``.
+
+        Allowed when the destination matches a name the device previously
+        resolved through us; otherwise reverse-look-up the destination and
+        re-apply the site filter — the paper's enforcement mechanism.
+        """
+        self.flow_checks += 1
+        device_ip = IPv4Address(device_ip)
+        dst_ip = IPv4Address(dst_ip)
+
+        lease = self.dhcp.leases.by_ip(device_ip)
+        mac: Optional[MACAddress] = lease.mac if lease is not None else None
+
+        name = self.requested.lookup(device_ip, dst_ip, self.now)
+        if name is not None:
+            if self.filter.permits(mac, name):
+                return FLOW_ALLOWED
+            self.flow_blocks += 1
+            return FLOW_BLOCKED
+
+        # Flow does not match a previously requested name: reverse lookup.
+        reverse_name = self.upstream.reverse(dst_ip)
+        if reverse_name is None:
+            # Unknown destination: deny-by-default only for whitelisted
+            # devices; allow-mode devices may reach unnamed services.
+            rule = self.filter.rule_for(mac)
+            if rule.mode == "deny":
+                self.flow_blocks += 1
+                return FLOW_BLOCKED
+            return FLOW_ALLOWED
+        if self.filter.permits(mac, reverse_name):
+            self.requested.record(device_ip, reverse_name, dst_ip, self.now)
+            return FLOW_ALLOWED
+        self.flow_blocks += 1
+        self.bus.emit(
+            "dns.flow.blocked",
+            timestamp=self.now,
+            device_ip=str(device_ip),
+            dst_ip=str(dst_ip),
+            name=reverse_name,
+        )
+        return FLOW_BLOCKED

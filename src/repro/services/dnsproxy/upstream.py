@@ -1,0 +1,79 @@
+"""Upstream DNS resolution for the proxy.
+
+On the real router the DNS proxy forwards to the ISP's resolver; here the
+upstream is the simulated Internet's authoritative zone
+(:class:`~repro.sim.upstream.InternetCloud`) behind a small latency.
+Substitution note (DESIGN.md): the query the proxy would forward upstream
+is answered from the cloud's zone object rather than re-injected as a
+packet — same control flow and timing, one less encode/decode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Union
+
+from ...net.addresses import IPv4Address
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...sim.simulator import Simulator
+    from ...sim.upstream import InternetCloud
+
+ResolveCallback = Callable[[Optional[IPv4Address]], None]
+
+
+class UpstreamResolver:
+    """Resolves names (and reverse-maps addresses) with simulated latency."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        zone: Optional[Union[Dict[str, str], "InternetCloud"]] = None,
+        latency: float = 0.02,
+    ):
+        self.sim = sim
+        self.latency = latency
+        self._cloud = None
+        self._zone: Dict[str, IPv4Address] = {}
+        if zone is None:
+            pass
+        elif isinstance(zone, dict):
+            self._zone = {
+                name.rstrip(".").lower(): IPv4Address(addr)
+                for name, addr in zone.items()
+            }
+        else:
+            self._cloud = zone
+        self.queries = 0
+        self.reverse_queries = 0
+
+    def lookup_sync(self, name: str) -> Optional[IPv4Address]:
+        """Zone lookup without latency (for tests and reverse checks)."""
+        name = name.rstrip(".").lower()
+        if self._cloud is not None:
+            return self._cloud.lookup(name)
+        return self._zone.get(name)
+
+    def resolve(self, name: str, callback: ResolveCallback) -> None:
+        """Asynchronous forward lookup after the upstream RTT."""
+        self.queries += 1
+        answer = self.lookup_sync(name)
+        if self.latency <= 0:
+            callback(answer)
+        else:
+            self.sim.schedule(self.latency, lambda: callback(answer))
+
+    def reverse(self, addr: Union[str, IPv4Address]) -> Optional[str]:
+        """Synchronous reverse (PTR) lookup used for flow admission.
+
+        The paper's proxy performs "reverse lookups on flows not matching
+        previously requested names"; the result gates whether the flow is
+        allowed, so the routing component needs it at decision time.
+        """
+        self.reverse_queries += 1
+        addr = IPv4Address(addr)
+        if self._cloud is not None:
+            return self._cloud.reverse_lookup(addr)
+        for name, ip in self._zone.items():
+            if ip == addr:
+                return name
+        return None

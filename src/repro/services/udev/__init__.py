@@ -1,0 +1,19 @@
+"""Simulated udev USB subsystem: keys with the Homework layout + monitor."""
+
+from .monitor import UdevMonitor
+from .usbkey import (
+    DENY_FILE,
+    KEY_ID_FILE,
+    PERMIT_FILE,
+    POLICY_FILE,
+    UsbKey,
+)
+
+__all__ = [
+    "UdevMonitor",
+    "UsbKey",
+    "KEY_ID_FILE",
+    "POLICY_FILE",
+    "PERMIT_FILE",
+    "DENY_FILE",
+]

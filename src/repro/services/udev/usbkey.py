@@ -1,0 +1,138 @@
+"""Virtual USB storage keys with the Homework filesystem layout.
+
+"When the user plugs a USB storage device with appropriate filesystem
+layout into the router, it enables specific devices to connect to the
+network as well as limiting access to specified web-hosted services."
+
+The layout (an in-memory dict standing in for a mounted filesystem)::
+
+    homework/
+        key.id            one line: the key's identity string
+        policy.json       optional: a policy document to install
+        permit.txt        optional: one MAC per line to permit
+        deny.txt          optional: one MAC per line to deny
+
+A key with only ``key.id`` is an *unlock* key: inserting it suspends the
+USB-gated policies naming that id (the "responsible adult" key of the
+paper's example).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Union
+
+from ...core.errors import ServiceError
+from ...net.addresses import AddressError, MACAddress
+
+KEY_DIR = "homework"
+KEY_ID_FILE = f"{KEY_DIR}/key.id"
+POLICY_FILE = f"{KEY_DIR}/policy.json"
+PERMIT_FILE = f"{KEY_DIR}/permit.txt"
+DENY_FILE = f"{KEY_DIR}/deny.txt"
+
+
+class UsbKey:
+    """An in-memory USB storage device: path → file contents."""
+
+    def __init__(self, files: Optional[Dict[str, Union[str, bytes]]] = None, label: str = "usb0"):
+        self.label = label
+        self.files: Dict[str, bytes] = {}
+        for path, content in (files or {}).items():
+            self.write(path, content)
+
+    def write(self, path: str, content: Union[str, bytes]) -> None:
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        self.files[path.strip("/")] = content
+
+    def read(self, path: str) -> Optional[bytes]:
+        return self.files.get(path.strip("/"))
+
+    def read_text(self, path: str) -> Optional[str]:
+        raw = self.read(path)
+        return raw.decode("utf-8") if raw is not None else None
+
+    def exists(self, path: str) -> bool:
+        return path.strip("/") in self.files
+
+    # ------------------------------------------------------------------
+    # The Homework layout
+    # ------------------------------------------------------------------
+
+    @property
+    def is_homework_key(self) -> bool:
+        """Does this device carry the expected filesystem layout?"""
+        return self.exists(KEY_ID_FILE)
+
+    @property
+    def key_id(self) -> str:
+        text = self.read_text(KEY_ID_FILE)
+        if text is None:
+            raise ServiceError(f"{self.label} is not a Homework key")
+        return text.strip()
+
+    def policy_document(self) -> Optional[dict]:
+        text = self.read_text(POLICY_FILE)
+        if text is None:
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ServiceError(f"bad policy.json on {self.label}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ServiceError(f"policy.json on {self.label} must be an object")
+        return data
+
+    def _mac_list(self, path: str) -> List[MACAddress]:
+        text = self.read_text(path)
+        if text is None:
+            return []
+        macs = []
+        for line in text.splitlines():
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                macs.append(MACAddress(line))
+            except AddressError as exc:
+                raise ServiceError(f"bad MAC in {path} on {self.label}: {exc}") from exc
+        return macs
+
+    def permit_list(self) -> List[MACAddress]:
+        return self._mac_list(PERMIT_FILE)
+
+    def deny_list(self) -> List[MACAddress]:
+        return self._mac_list(DENY_FILE)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def unlock_key(cls, key_id: str, label: str = "parent-usb") -> "UsbKey":
+        """A bare unlock key (just an identity)."""
+        key = cls(label=label)
+        key.write(KEY_ID_FILE, key_id + "\n")
+        return key
+
+    @classmethod
+    def policy_key(
+        cls,
+        key_id: str,
+        policy: dict,
+        permit: Optional[List[str]] = None,
+        deny: Optional[List[str]] = None,
+        label: str = "policy-usb",
+    ) -> "UsbKey":
+        """A key that installs a policy (and optional permit/deny lists)."""
+        key = cls.unlock_key(key_id, label)
+        key.write(POLICY_FILE, json.dumps(policy, indent=2))
+        if permit:
+            key.write(PERMIT_FILE, "\n".join(permit) + "\n")
+        if deny:
+            key.write(DENY_FILE, "\n".join(deny) + "\n")
+        return key
+
+    def __repr__(self) -> str:
+        return f"UsbKey({self.label!r}, files={sorted(self.files)})"

@@ -1,0 +1,50 @@
+"""Discrete-event home-network simulator: the testbed substitute."""
+
+from .host import Host, TCPConnection
+from .link import Link, Port, WirelessLink
+from .simulator import ScheduledEvent, Simulator
+from .traffic import (
+    BulkDownload,
+    DEFAULT_WORKLOADS,
+    IoTTelemetry,
+    MailSync,
+    SSHSession,
+    TrafficGenerator,
+    VideoStreaming,
+    WebBrowsing,
+)
+from .topology import (
+    DeviceSpec,
+    Household,
+    STANDARD_HOUSEHOLD,
+    build_household,
+)
+from .upstream import DEFAULT_ZONE, InternetCloud
+from .wireless import PathLossModel, RadioEnvironment, Wall
+
+__all__ = [
+    "Host",
+    "TCPConnection",
+    "Link",
+    "Port",
+    "WirelessLink",
+    "ScheduledEvent",
+    "Simulator",
+    "TrafficGenerator",
+    "WebBrowsing",
+    "VideoStreaming",
+    "MailSync",
+    "SSHSession",
+    "BulkDownload",
+    "IoTTelemetry",
+    "DEFAULT_WORKLOADS",
+    "InternetCloud",
+    "DEFAULT_ZONE",
+    "DeviceSpec",
+    "Household",
+    "STANDARD_HOUSEHOLD",
+    "build_household",
+    "PathLossModel",
+    "RadioEnvironment",
+    "Wall",
+]

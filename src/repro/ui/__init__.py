@@ -1,0 +1,35 @@
+"""The paper's four novel management interfaces (Figures 1-4)."""
+
+from .artifact import (
+    BLUE,
+    GREEN,
+    LedStrip,
+    MODE_BANDWIDTH,
+    MODE_EVENTS,
+    MODE_SIGNAL,
+    NetworkArtifact,
+    OFF,
+    RED,
+    WHITE,
+)
+from .bandwidth_view import BandwidthView
+from .control_ui import CATEGORIES, ControlInterface, DeviceTab
+from .policy_ui import PolicyInterface
+
+__all__ = [
+    "BandwidthView",
+    "NetworkArtifact",
+    "LedStrip",
+    "MODE_SIGNAL",
+    "MODE_BANDWIDTH",
+    "MODE_EVENTS",
+    "OFF",
+    "WHITE",
+    "GREEN",
+    "BLUE",
+    "RED",
+    "ControlInterface",
+    "DeviceTab",
+    "CATEGORIES",
+    "PolicyInterface",
+]

@@ -1,0 +1,272 @@
+"""Figure 2: the Arduino network artifact (physical probe).
+
+"The artifact contains a series of RGB LEDs that respond to key network
+characteristics.  The current artifact supports three distinct modes:
+
+* Mode 1.  Wireless signal strength from the artifact to the hub is
+  mapped to the number of lit LEDs ...
+* Mode 2.  The current total bandwidth usage of the network as a
+  proportion of peak usage observed in the last day is mapped to
+  animation of the LEDs ...
+* Mode 3.  DHCP leases granted and revoked are signaled by a series of
+  flashes in either green or blue respectively, while high proportions
+  of packet retries for any machine on the network are signaled by a
+  series of red flashes."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from ..core.events import Event, EventBus
+from ..measurement.aggregator import BandwidthAggregator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hwdb.database import HomeworkDatabase
+    from ..sim.simulator import Simulator
+    from ..sim.wireless import RadioEnvironment
+
+Color = Tuple[int, int, int]
+
+OFF: Color = (0, 0, 0)
+WHITE: Color = (255, 255, 255)
+GREEN: Color = (0, 255, 0)
+BLUE: Color = (0, 0, 255)
+RED: Color = (255, 0, 0)
+
+MODE_SIGNAL = 1
+MODE_BANDWIDTH = 2
+MODE_EVENTS = 3
+
+#: RSSI mapping range for Mode 1 (full strip at -40 dBm, none at -90).
+RSSI_FLOOR = -90.0
+RSSI_CEIL = -40.0
+
+#: Retry proportion above which Mode 3 flashes red.
+RETRY_ALERT_THRESHOLD = 0.25
+
+#: Flashes per DHCP event / retry alert.
+FLASHES_PER_EVENT = 3
+
+
+class LedStrip:
+    """The row of RGB LEDs on the artifact's face."""
+
+    def __init__(self, count: int = 12):
+        self.count = count
+        self.leds: List[Color] = [OFF] * count
+
+    def clear(self) -> None:
+        self.leds = [OFF] * self.count
+
+    def fill(self, n: int, color: Color = WHITE) -> None:
+        """Light the first ``n`` LEDs."""
+        self.clear()
+        for i in range(max(0, min(n, self.count))):
+            self.leds[i] = color
+
+    def set_all(self, color: Color) -> None:
+        self.leds = [color] * self.count
+
+    def lit_count(self) -> int:
+        return sum(1 for led in self.leds if led != OFF)
+
+    def render(self) -> str:
+        """One character per LED: direction of the dominant channel."""
+        chars = []
+        for r, g, b in self.leds:
+            if (r, g, b) == (0, 0, 0):
+                chars.append(".")
+            elif r == g == b:
+                chars.append("#" if r > 128 else "+")
+            elif r >= g and r >= b:
+                chars.append("R" if r > 128 else "r")
+            elif g >= r and g >= b:
+                chars.append("G" if g > 128 else "g")
+            else:
+                chars.append("B" if b > 128 else "b")
+        return "[" + "".join(chars) + "]"
+
+
+class NetworkArtifact:
+    """The physical probe: an LED strip driven by the measurement plane."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bus: EventBus,
+        aggregator: BandwidthAggregator,
+        radio: Optional["RadioEnvironment"] = None,
+        db: Optional["HomeworkDatabase"] = None,
+        led_count: int = 12,
+        tick_interval: float = 0.1,
+        position: Tuple[float, float] = (3.0, 3.0),
+        station_mac: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.bus = bus
+        self.aggregator = aggregator
+        self.radio = radio
+        self.db = db
+        # When the artifact is itself a joined wireless station, Mode 1
+        # reads its RSSI "reflected by the measurement plane" (the Links
+        # table) exactly as the paper describes, rather than asking the
+        # radio model directly.
+        self.station_mac = station_mac
+        self.strip = LedStrip(led_count)
+        self.mode = MODE_SIGNAL
+        self.position = position
+        self.tick_interval = tick_interval
+
+        # Mode 2 animation state.
+        self._phase = 0.0
+        self.base_speed = 2.0  # LEDs per second when idle
+        self.max_speed = 40.0  # LEDs per second at peak utilisation
+        self.current_speed = 0.0
+
+        # Mode 3 flash queue: (color, flashes remaining).
+        self._flash_queue: List[Tuple[Color, int]] = []
+        self._flash_on = False
+        self.flash_history: List[Tuple[float, str]] = []
+
+        self._timer = None
+        self._subs = [
+            bus.subscribe("dhcp.lease.granted", self._on_lease_event),
+            bus.subscribe("dhcp.lease.revoked", self._on_lease_event),
+        ]
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle / interaction
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._timer = self.sim.schedule_periodic(self.tick_interval, self.tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        for sub in self._subs:
+            sub.cancel()
+        self._subs = []
+
+    def set_mode(self, mode: int) -> None:
+        if mode not in (MODE_SIGNAL, MODE_BANDWIDTH, MODE_EVENTS):
+            raise ValueError(f"no such artifact mode {mode}")
+        self.mode = mode
+        self.strip.clear()
+
+    def move(self, position: Tuple[float, float]) -> float:
+        """Carry the artifact to a new spot; returns the RSSI there.
+
+        This is the Mode 1 use: walking the probe around the house to
+        "expose areas of high or low signal strength".
+        """
+        self.position = position
+        return self.rssi()
+
+    def rssi(self) -> float:
+        if self.station_mac is not None and self.db is not None:
+            measured = self._measured_rssi()
+            if measured is not None:
+                return measured
+        if self.radio is None:
+            return RSSI_CEIL
+        return self.radio.rssi_at(self.position)
+
+    def _measured_rssi(self) -> Optional[float]:
+        """The router's view of this station from hwdb ``Links``."""
+        result = self.db.query(
+            f"SELECT last(rssi) FROM links WHERE mac = '{self.station_mac}' "
+            f"AND wired = false"
+        )
+        value = result.scalar()
+        return float(value) if value is not None else None
+
+    # ------------------------------------------------------------------
+    # The Arduino loop
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        self.ticks += 1
+        if self.mode == MODE_SIGNAL:
+            self._tick_signal()
+        elif self.mode == MODE_BANDWIDTH:
+            self._tick_bandwidth()
+        else:
+            self._tick_events()
+
+    def _tick_signal(self) -> None:
+        rssi = self.rssi()
+        fraction = (rssi - RSSI_FLOOR) / (RSSI_CEIL - RSSI_FLOOR)
+        fraction = max(0.0, min(1.0, fraction))
+        self.strip.fill(int(round(fraction * self.strip.count)), WHITE)
+
+    def _tick_bandwidth(self) -> None:
+        utilisation = self.aggregator.utilisation()
+        self.current_speed = self.base_speed + utilisation * (
+            self.max_speed - self.base_speed
+        )
+        self._phase = (self._phase + self.current_speed * self.tick_interval) % self.strip.count
+        self.strip.clear()
+        # A three-LED comet whose speed tracks utilisation.
+        head = int(self._phase)
+        for offset, brightness in ((0, 255), (1, 128), (2, 48)):
+            index = (head - offset) % self.strip.count
+            self.strip.leds[index] = (brightness, brightness, brightness)
+
+    def _tick_events(self) -> None:
+        # Check link health for retry alerts (red flashes).
+        if self.db is not None and not self._flash_queue:
+            retry_fraction = self._max_retry_proportion()
+            if retry_fraction > RETRY_ALERT_THRESHOLD:
+                self._flash_queue.append((RED, FLASHES_PER_EVENT))
+                self.flash_history.append((self.sim.now, "red"))
+        if not self._flash_queue:
+            self.strip.clear()
+            self._flash_on = False
+            return
+        color, remaining = self._flash_queue[0]
+        if self._flash_on:
+            self.strip.clear()
+            self._flash_on = False
+            remaining -= 1
+            if remaining <= 0:
+                self._flash_queue.pop(0)
+            else:
+                self._flash_queue[0] = (color, remaining)
+        else:
+            self.strip.set_all(color)
+            self._flash_on = True
+
+    def _max_retry_proportion(self) -> float:
+        result = self.db.query(
+            "SELECT sum(retries) AS r, sum(packets) AS p FROM links [RANGE 5 SECONDS]"
+        )
+        if not result.rows:
+            return 0.0
+        retries, packets = result.rows[0]
+        if not packets:
+            return 0.0
+        return (retries or 0) / packets
+
+    # ------------------------------------------------------------------
+    # Event feed (Mode 3)
+    # ------------------------------------------------------------------
+
+    def _on_lease_event(self, event: Event) -> None:
+        if event.name == "dhcp.lease.granted":
+            color, label = GREEN, "green"
+        else:
+            color, label = BLUE, "blue"
+        self._flash_queue.append((color, FLASHES_PER_EVENT))
+        self.flash_history.append((self.sim.now, label))
+
+    def render(self) -> str:
+        mode_names = {
+            MODE_SIGNAL: "signal",
+            MODE_BANDWIDTH: "bandwidth",
+            MODE_EVENTS: "events",
+        }
+        return f"artifact[{mode_names[self.mode]}] {self.strip.render()}"

@@ -1,0 +1,143 @@
+"""Figure 3: the situated drag-and-drop DHCP control interface.
+
+"A simple control interface that exercises the control API to manage
+DHCP allocations, accessed via a situated display in the home.  This
+allows non-expert users to detect, interrogate and supply metadata for
+devices requesting access, and to control the DHCP server on a
+case-by-case basis by dragging the device's tab into the appropriate
+permitted/denied category."
+
+The UI model: three columns of device *tabs* (pending / permitted /
+denied); drag = :meth:`drag`; tapping a tab = :meth:`interrogate`;
+filling the name dialog = :meth:`supply_metadata`.  Everything goes
+through the control API, never directly to the DHCP server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING, Union
+
+from ..core.events import Event, EventBus
+from ..net.addresses import MACAddress
+from ..services.control_api.http import HttpError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..services.control_api.api import ControlApi
+
+CATEGORIES = ("pending", "permitted", "denied")
+
+
+class DeviceTab:
+    """One draggable tab on the display."""
+
+    __slots__ = ("mac", "display_name", "hostname", "ip", "state", "metadata")
+
+    def __init__(self, entry: Dict[str, object]):
+        self.mac = str(entry["mac"])
+        self.display_name = str(entry.get("display_name") or self.mac)
+        self.hostname = str(entry.get("hostname") or "")
+        self.ip = entry.get("ip")
+        self.state = str(entry.get("state"))
+        self.metadata = dict(entry.get("metadata") or {})
+
+    def __repr__(self) -> str:
+        return f"DeviceTab({self.display_name}, {self.state})"
+
+
+class ControlInterface:
+    """The situated display's model + controller."""
+
+    def __init__(self, control_api: "ControlApi", bus: Optional[EventBus] = None):
+        self.control_api = control_api
+        self.tabs: Dict[str, List[DeviceTab]] = {c: [] for c in CATEGORIES}
+        self.notifications: List[str] = []
+        self.drags = 0
+        self._subs = []
+        if bus is not None:
+            self._subs.append(bus.subscribe("dhcp.device.pending", self._on_pending))
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-pull the device list from the control API."""
+        response = self.control_api.request("GET", "/devices")
+        if response.status != 200:
+            raise HttpError(response.status, "device list unavailable")
+        self.tabs = {c: [] for c in CATEGORIES}
+        for entry in response.json():
+            tab = DeviceTab(entry)
+            self.tabs.setdefault(tab.state, []).append(tab)
+
+    def _on_pending(self, event: Event) -> None:
+        """A new device knocked: surface a notification on the display."""
+        message = f"new device requesting access: {event.get('hostname') or event.get('mac')}"
+        if message not in self.notifications:
+            self.notifications.append(message)
+
+    # ------------------------------------------------------------------
+    # Interactions
+    # ------------------------------------------------------------------
+
+    def drag(self, device: Union[str, MACAddress], category: str) -> DeviceTab:
+        """Drag a device's tab into 'permitted' or 'denied'."""
+        if category not in ("permitted", "denied"):
+            raise ValueError(f"can only drag to permitted/denied, not {category!r}")
+        mac = str(MACAddress(device))
+        verb = "permit" if category == "permitted" else "deny"
+        response = self.control_api.request("POST", f"/devices/{mac}/{verb}")
+        if response.status != 200:
+            raise HttpError(response.status, f"{verb} failed")
+        self.drags += 1
+        self.refresh()
+        for tab in self.tabs[category]:
+            if tab.mac == mac:
+                self.notifications = [
+                    n
+                    for n in self.notifications
+                    if mac not in n
+                    and (not tab.hostname or tab.hostname not in n)
+                ]
+                return tab
+        raise HttpError(500, f"device {mac} did not land in {category}")
+
+    def interrogate(self, device: Union[str, MACAddress]) -> Dict[str, object]:
+        """Tap a tab: full details for the device."""
+        mac = str(MACAddress(device))
+        response = self.control_api.request("GET", f"/devices/{mac}")
+        if response.status != 200:
+            raise HttpError(response.status, f"unknown device {mac}")
+        return response.json()
+
+    def supply_metadata(self, device: Union[str, MACAddress], **metadata: str) -> None:
+        """Fill in the 'what is this device?' dialog."""
+        mac = str(MACAddress(device))
+        response = self.control_api.request(
+            "PUT", f"/devices/{mac}/metadata", dict(metadata)
+        )
+        if response.status != 200:
+            raise HttpError(response.status, "metadata update failed")
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The three-column situated display."""
+        width = 24
+        columns = []
+        for category in CATEGORIES:
+            rows = [category.upper().center(width), "-" * width]
+            for tab in self.tabs[category]:
+                ip = f" ({tab.ip})" if tab.ip else ""
+                rows.append(f"[{tab.display_name[:14]}{ip}]"[:width].ljust(width))
+            columns.append(rows)
+        height = max(len(c) for c in columns)
+        for column in columns:
+            column.extend([" " * width] * (height - len(column)))
+        lines = ["  ".join(row) for row in zip(*columns)]
+        for note in self.notifications:
+            lines.append(f"! {note}")
+        return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Figure 4: the interactive cartoon policy interface.
+
+"The final interface integrates physical mediation of control into a
+simple visual policy language. ... By selecting appropriate options for
+each panel in the cartoon, non-expert users can implement simple
+policies such as 'the kids can only use Facebook on weekdays after
+they've finished their homework.'"
+
+The interface edits :class:`~repro.policy.cartoon.CartoonStrip` objects
+panel by panel, shows the sentence the strip means, and publishes it to
+the router through the control API.  USB keys appear in the footer, since
+inserting/removing them changes which policies bite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..policy.cartoon import CartoonStrip
+from ..services.control_api.http import HttpError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..services.control_api.api import ControlApi
+    from ..services.udev.monitor import UdevMonitor
+
+
+class PolicyInterface:
+    """The cartoon policy editor + published-policy board."""
+
+    def __init__(
+        self, control_api: "ControlApi", udev: Optional["UdevMonitor"] = None
+    ):
+        self.control_api = control_api
+        self.udev = udev
+        self.draft: Optional[CartoonStrip] = None
+        self.published: List[Dict[str, object]] = []
+        self.installs = 0
+
+    # ------------------------------------------------------------------
+    # Editing
+    # ------------------------------------------------------------------
+
+    def new_strip(self, title: str) -> CartoonStrip:
+        """Start a fresh cartoon."""
+        self.draft = CartoonStrip(title)
+        return self.draft
+
+    def preview(self) -> str:
+        """The sentence the current draft means."""
+        if self.draft is None:
+            return "(no draft policy)"
+        return self.draft.describe()
+
+    def publish(self) -> Dict[str, object]:
+        """Compile the draft and install it via the control API."""
+        if self.draft is None:
+            raise HttpError(400, "nothing to publish")
+        policy = self.draft.compile()
+        response = self.control_api.request("POST", "/policies", policy.to_dict())
+        if response.status != 201:
+            raise HttpError(response.status, f"policy rejected: {response.json()}")
+        self.installs += 1
+        self.draft = None
+        self.refresh()
+        return response.json()
+
+    def retract(self, policy_id: int) -> None:
+        response = self.control_api.request("DELETE", f"/policies/{policy_id}")
+        if response.status not in (200, 204):
+            raise HttpError(response.status, "retract failed")
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Board state
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> List[Dict[str, object]]:
+        response = self.control_api.request("GET", "/policies")
+        if response.status != 200:
+            raise HttpError(response.status, "policy list unavailable")
+        self.published = response.json()
+        return self.published
+
+    def inserted_keys(self) -> List[str]:
+        if self.udev is None:
+            return []
+        return self.udev.inserted_keys()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        lines = ["HOUSE RULES", "=" * 48]
+        if not self.published:
+            lines.append("(no policies installed)")
+        for entry in self.published:
+            active = "ACTIVE" if entry.get("active_now") else "idle  "
+            gate = " [USB-gated]" if entry.get("usb_gated") else ""
+            lines.append(f"#{entry['id']:>2} {active} {entry['name']}{gate}")
+            sites = entry.get("sites") or []
+            if entry.get("dns_mode") == "only":
+                lines.append(f"      only: {', '.join(sites)}")
+            elif entry.get("dns_mode") == "block":
+                lines.append(f"      blocked: {', '.join(sites)}")
+            if entry.get("network") == "deny":
+                lines.append("      network access: OFF")
+        if self.draft is not None:
+            lines.append("-" * 48)
+            lines.append("draft: " + self.draft.describe())
+        keys = self.inserted_keys()
+        lines.append("-" * 48)
+        lines.append(f"USB keys inserted: {', '.join(keys) if keys else 'none'}")
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Shared fixtures: a simulator, a fully wired router, joined devices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def router(sim: Simulator) -> HomeworkRouter:
+    """A router with default config (isolating pool, default-deny)."""
+    r = HomeworkRouter(sim)
+    r.start()
+    return r
+
+
+@pytest.fixture
+def permissive_router(sim: Simulator) -> HomeworkRouter:
+    """A router that permits unknown devices (default_permit=True)."""
+    r = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    r.start()
+    return r
+
+
+def join_device(router: HomeworkRouter, name: str, mac: str, **kwargs):
+    """Attach a device, run DHCP to completion, return the bound host."""
+    host = router.add_device(name, mac, **kwargs)
+    router.sim.run_for(0.1)
+    host.start_dhcp()
+    router.sim.run_for(0.5)
+    if host.ip is None:
+        router.permit(host)
+        router.sim.run_for(6.0)
+    assert host.ip is not None, f"{name} failed to get a lease"
+    return host
+
+
+@pytest.fixture
+def household(permissive_router: HomeworkRouter):
+    """Router + two joined devices, ready to exchange traffic."""
+    laptop = join_device(
+        permissive_router, "laptop", "02:aa:00:00:00:01", wireless=True, position=(4, 3)
+    )
+    tv = join_device(permissive_router, "tv", "02:aa:00:00:00:02")
+    return permissive_router, laptop, tv

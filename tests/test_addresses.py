@@ -1,0 +1,231 @@
+"""Unit tests for MAC/IPv4 address and network types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    AddressError,
+    IPv4Address,
+    IPv4Network,
+    MACAddress,
+)
+
+
+class TestMACAddress:
+    def test_from_string(self):
+        mac = MACAddress("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+
+    def test_from_dashed_string(self):
+        assert MACAddress("AA-BB-CC-DD-EE-FF") == MACAddress("aa:bb:cc:dd:ee:ff")
+
+    def test_from_bytes_roundtrip(self):
+        mac = MACAddress(b"\x02\x00\x00\x00\x00\x11")
+        assert mac.packed == b"\x02\x00\x00\x00\x00\x11"
+
+    def test_from_int(self):
+        assert int(MACAddress(0xAABBCCDDEEFF)) == 0xAABBCCDDEEFF
+
+    def test_from_mac_copy(self):
+        original = MACAddress("02:00:00:00:00:01")
+        assert MACAddress(original) == original
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(AddressError):
+            MACAddress("not-a-mac")
+
+    def test_short_string_rejected(self):
+        with pytest.raises(AddressError):
+            MACAddress("aa:bb:cc:dd:ee")
+
+    def test_bad_bytes_length(self):
+        with pytest.raises(AddressError):
+            MACAddress(b"\x00" * 5)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(AddressError):
+            MACAddress(1 << 48)
+
+    def test_bad_type(self):
+        with pytest.raises(AddressError):
+            MACAddress(3.14)  # type: ignore[arg-type]
+
+    def test_broadcast(self):
+        assert MACAddress.broadcast().is_broadcast
+        assert str(MACAddress.broadcast()) == "ff:ff:ff:ff:ff:ff"
+
+    def test_broadcast_is_multicast(self):
+        assert MACAddress.broadcast().is_multicast
+
+    def test_unicast(self):
+        assert MACAddress("02:00:00:00:00:01").is_unicast
+
+    def test_multicast_bit(self):
+        assert MACAddress("01:00:5e:00:00:01").is_multicast
+
+    def test_oui(self):
+        assert MACAddress("aa:bb:cc:00:00:00").oui == 0xAABBCC
+
+    def test_equality_with_string(self):
+        assert MACAddress("02:00:00:00:00:01") == "02:00:00:00:00:01"
+        assert not (MACAddress("02:00:00:00:00:01") == "garbage")
+
+    def test_ordering(self):
+        assert MACAddress(1) < MACAddress(2)
+
+    def test_hashable(self):
+        assert len({MACAddress(1), MACAddress(1), MACAddress(2)}) == 2
+
+    def test_repr(self):
+        assert "02:00:00:00:00:01" in repr(MACAddress("02:00:00:00:00:01"))
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_int_string_roundtrip(self, value):
+        mac = MACAddress(value)
+        assert int(MACAddress(str(mac))) == value
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_bytes_roundtrip(self, raw):
+        assert MACAddress(raw).packed == raw
+
+
+class TestIPv4Address:
+    def test_from_string(self):
+        assert str(IPv4Address("10.2.0.1")) == "10.2.0.1"
+
+    def test_from_bytes(self):
+        assert IPv4Address(b"\x0a\x02\x00\x01") == IPv4Address("10.2.0.1")
+
+    def test_from_int(self):
+        assert int(IPv4Address(0x0A020001)) == 0x0A020001
+
+    def test_bad_octet(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.2.0.256")
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.02.0.1")
+
+    def test_too_few_octets(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.2.0")
+
+    def test_negative_int(self):
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+    def test_broadcast(self):
+        assert IPv4Address.broadcast().is_broadcast
+
+    def test_any(self):
+        assert IPv4Address.any().is_unspecified
+
+    def test_multicast(self):
+        assert IPv4Address("224.0.0.1").is_multicast
+        assert IPv4Address("239.255.255.255").is_multicast
+        assert not IPv4Address("240.0.0.1").is_multicast
+
+    def test_private_ranges(self):
+        assert IPv4Address("10.0.0.1").is_private
+        assert IPv4Address("172.16.0.1").is_private
+        assert IPv4Address("172.31.255.255").is_private
+        assert not IPv4Address("172.32.0.1").is_private
+        assert IPv4Address("192.168.1.1").is_private
+        assert not IPv4Address("8.8.8.8").is_private
+
+    def test_loopback(self):
+        assert IPv4Address("127.0.0.1").is_loopback
+
+    def test_addition(self):
+        assert IPv4Address("10.0.0.1") + 5 == IPv4Address("10.0.0.6")
+
+    def test_addition_wraps(self):
+        assert IPv4Address("255.255.255.255") + 1 == IPv4Address("0.0.0.0")
+
+    def test_subtraction_of_addresses(self):
+        assert IPv4Address("10.0.0.6") - IPv4Address("10.0.0.1") == 5
+
+    def test_subtraction_of_int(self):
+        assert IPv4Address("10.0.0.6") - 5 == IPv4Address("10.0.0.1")
+
+    def test_ordering(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+        assert IPv4Address("10.0.0.1") <= IPv4Address("10.0.0.1")
+
+    def test_equality_with_string(self):
+        assert IPv4Address("10.0.0.1") == "10.0.0.1"
+        assert not (IPv4Address("10.0.0.1") == "not-an-ip")
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_int_string_roundtrip(self, value):
+        assert int(IPv4Address(str(IPv4Address(value)))) == value
+
+    @given(st.binary(min_size=4, max_size=4))
+    def test_bytes_roundtrip(self, raw):
+        assert IPv4Address(raw).packed == raw
+
+
+class TestIPv4Network:
+    def test_parse(self):
+        net = IPv4Network("10.2.0.0/16")
+        assert str(net) == "10.2.0.0/16"
+        assert net.prefixlen == 16
+
+    def test_host_bits_masked(self):
+        assert str(IPv4Network("10.2.3.4/16")) == "10.2.0.0/16"
+
+    def test_requires_prefix(self):
+        with pytest.raises(AddressError):
+            IPv4Network("10.2.0.0")
+
+    def test_bad_prefix(self):
+        with pytest.raises(AddressError):
+            IPv4Network("10.0.0.0/33")
+
+    def test_netmask(self):
+        assert IPv4Network("10.0.0.0/24").netmask == IPv4Address("255.255.255.0")
+        assert IPv4Network("10.0.0.0/30").netmask == IPv4Address("255.255.255.252")
+
+    def test_membership(self):
+        net = IPv4Network("10.2.0.0/16")
+        assert "10.2.255.255" in net
+        assert IPv4Address("10.3.0.0") not in net
+
+    def test_broadcast_address(self):
+        assert IPv4Network("10.0.0.0/30").broadcast_address == IPv4Address("10.0.0.3")
+
+    def test_num_addresses(self):
+        assert IPv4Network("10.0.0.0/30").num_addresses == 4
+        assert IPv4Network("10.0.0.0/16").num_addresses == 65536
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        hosts = list(IPv4Network("10.0.0.0/30").hosts())
+        assert hosts == [IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")]
+
+    def test_hosts_slash31(self):
+        assert len(list(IPv4Network("10.0.0.0/31").hosts())) == 2
+
+    def test_subnets(self):
+        subs = list(IPv4Network("10.0.0.0/28").subnets(30))
+        assert len(subs) == 4
+        assert str(subs[0]) == "10.0.0.0/30"
+        assert str(subs[-1]) == "10.0.0.12/30"
+
+    def test_subnets_bad_prefix(self):
+        with pytest.raises(AddressError):
+            list(IPv4Network("10.0.0.0/28").subnets(24))
+
+    def test_equality_and_hash(self):
+        assert IPv4Network("10.0.0.0/24") == IPv4Network("10.0.0.5/24")
+        assert len({IPv4Network("10.0.0.0/24"), IPv4Network("10.0.0.0/24")}) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1), st.integers(min_value=8, max_value=30))
+    def test_all_hosts_are_members(self, base, prefixlen):
+        net = IPv4Network((IPv4Address(base), prefixlen))
+        # Sample the first/last hosts rather than iterating huge nets.
+        first = net.network_address + 1
+        last = net.broadcast_address - 1
+        assert first in net
+        assert last in net
+        assert net.broadcast_address + 1 not in net

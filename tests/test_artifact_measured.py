@@ -1,0 +1,65 @@
+"""Artifact Mode 1 via the measurement plane (the paper's actual path).
+
+"As users move the device through the home, the received signal strength
+(RSSI) for the artifact is reflected by the measurement plane and mapped
+to the proportion of LEDs lit, showing the signal strength to this part
+of the home from the router's viewpoint."
+"""
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.ui.artifact import MODE_SIGNAL, NetworkArtifact
+
+from tests.conftest import join_device
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=701)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    # The artifact is itself a wireless station on the home network.
+    probe = join_device(
+        router, "artifact-probe", "02:aa:00:00:00:0a", wireless=True, position=(2, 2)
+    )
+    artifact = NetworkArtifact(
+        sim,
+        router.bus,
+        router.aggregator,
+        radio=router.radio,
+        db=router.db,
+        station_mac=str(probe.mac),
+    )
+    artifact.set_mode(MODE_SIGNAL)
+    sim.run_for(2.0)  # let the link collector sample
+    return sim, router, probe, artifact
+
+
+class TestMeasuredMode1:
+    def test_rssi_comes_from_links_table(self, env):
+        sim, router, probe, artifact = env
+        measured = artifact.rssi()
+        stored = router.db.query(
+            f"SELECT last(rssi) FROM links WHERE mac = '{probe.mac}'"
+        ).scalar()
+        assert measured == pytest.approx(stored)
+
+    def test_carrying_the_probe_updates_leds_via_hwdb(self, env):
+        sim, router, probe, artifact = env
+        artifact.tick()
+        near_leds = artifact.strip.lit_count()
+        # Walk to the bottom of the garden; the router measures the new
+        # RSSI on its next link poll and the artifact dims.
+        router.radio.move("artifact-probe", (40.0, 40.0))
+        sim.run_for(2.0)
+        artifact.tick()
+        far_leds = artifact.strip.lit_count()
+        assert far_leds < near_leds
+
+    def test_falls_back_to_radio_without_samples(self, env):
+        sim, router, _probe, artifact = env
+        artifact.station_mac = "02:ff:ff:ff:ff:ff"  # never sampled
+        value = artifact.rssi()
+        # Falls back to the direct radio model at the artifact's position.
+        assert value == pytest.approx(router.radio.rssi_at(artifact.position))

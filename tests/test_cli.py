@@ -1,0 +1,39 @@
+"""The ``python -m repro`` CLI demos."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--seed", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "Figure 4" in out
+    assert "BLOCKED" in out
+    assert "hwdb" in out
+
+
+def test_figures_runs(capsys):
+    assert main(["figures", "--seed", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "Network usage" in out
+    assert "artifact[" in out
+    assert "HOUSE RULES" in out
+
+
+def test_stats_runs(capsys):
+    assert main(["stats", "--seed", "13"]) == 0
+    out = capsys.readouterr().out
+    assert '"datapath"' in out
+    assert '"dhcp"' in out
+
+
+def test_default_command_is_demo(capsys):
+    assert main(["--seed", "14"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
+def test_bad_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

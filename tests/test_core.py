@@ -1,0 +1,172 @@
+"""Core primitives: clocks, event bus, router configuration."""
+
+import pytest
+
+from repro.core.clock import SimulatedClock, WallClock
+from repro.core.config import RouterConfig
+from repro.core.errors import ConfigError
+from repro.core.events import Event, EventBus
+
+
+class TestClocks:
+    def test_simulated_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_simulated_start_offset(self):
+        assert SimulatedClock(100.0).now() == 100.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_to(self):
+        clock = SimulatedClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_no_backwards_advance_to(self):
+        clock = SimulatedClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_no_negative_advance(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_callable(self):
+        clock = SimulatedClock(3.0)
+        assert clock() == 3.0
+
+    def test_wall_clock_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestEventBus:
+    def test_exact_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a.b", seen.append)
+        bus.emit("a.b", x=1)
+        bus.emit("a.c", x=2)
+        assert len(seen) == 1
+        assert seen[0].x == 1
+
+    def test_prefix_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("dhcp.*", seen.append)
+        bus.emit("dhcp.lease.granted")
+        bus.emit("dhcp.device.pending")
+        bus.emit("dns.query")
+        assert len(seen) == 2
+
+    def test_deep_prefix_matches_any_depth(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("dhcp.*", seen.append)
+        bus.emit("dhcp.lease.granted.extra")
+        assert len(seen) == 1
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.emit("anything.at.all")
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe("x", seen.append)
+        bus.emit("x")
+        sub.cancel()
+        bus.emit("x")
+        assert len(seen) == 1
+        assert not sub.active
+
+    def test_double_cancel_safe(self):
+        bus = EventBus()
+        sub = bus.subscribe("x", lambda e: None)
+        sub.cancel()
+        sub.cancel()
+
+    def test_handler_exception_isolated(self):
+        bus = EventBus()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe("x", broken)
+        bus.subscribe("x", seen.append)
+        count = bus.publish(Event("x"))
+        assert len(seen) == 1
+        assert count == 1  # only the successful handler counted
+
+    def test_event_attribute_access(self):
+        event = Event("e", 1.0, mac="02:00:00:00:00:01", ip="10.0.0.1")
+        assert event.mac == "02:00:00:00:00:01"
+        assert event.timestamp == 1.0
+        with pytest.raises(AttributeError):
+            _ = event.missing
+
+    def test_event_get_default(self):
+        assert Event("e").get("missing", 42) == 42
+
+    def test_name_usable_as_data_key(self):
+        event = Event("dns.query", 0.0, name="facebook.com")
+        assert event.data["name"] == "facebook.com"
+        assert event.name == "dns.query"
+
+    def test_emit_returns_handler_count(self):
+        bus = EventBus()
+        bus.subscribe("x", lambda e: None)
+        bus.subscribe("x", lambda e: None)
+        assert bus.emit("x") == 2
+
+    def test_stats(self):
+        bus = EventBus()
+        bus.subscribe("x", lambda e: None)
+        bus.emit("x")
+        bus.emit("y")
+        assert bus.stats == {"published": 2, "delivered": 1}
+
+
+class TestRouterConfig:
+    def test_defaults(self):
+        config = RouterConfig()
+        assert str(config.subnet) == "10.2.0.0/16"
+        assert config.router_ip == config.subnet.network_address + 1
+        assert config.isolate_devices
+        assert not config.default_permit
+
+    def test_router_ip_must_be_in_subnet(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(subnet="10.2.0.0/16", router_ip="192.168.1.1")
+
+    def test_isolation_needs_wide_subnet(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(subnet="10.2.0.0/28")
+
+    def test_narrow_subnet_ok_without_isolation(self):
+        config = RouterConfig(subnet="192.168.1.0/28", isolate_devices=False)
+        assert not config.isolate_devices
+
+    def test_positive_lease_time(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(lease_time=0)
+
+    def test_positive_buffer(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(hwdb_buffer_rows=0)
+
+    def test_bad_port(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(control_api_port=0)
+
+    def test_repr(self):
+        assert "10.2.0.0/16" in repr(RouterConfig())

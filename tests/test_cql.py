@@ -1,0 +1,310 @@
+"""CQL-variant language tests: lexer, parser, and executor semantics."""
+
+import pytest
+
+from repro.core.clock import SimulatedClock
+from repro.core.errors import QueryError
+from repro.hwdb.cql.ast_nodes import Select, W_NOW, W_RANGE, W_ROWS, W_SINCE
+from repro.hwdb.cql.lexer import tokenize
+from repro.hwdb.cql.parser import parse
+from repro.hwdb.database import HomeworkDatabase
+
+
+@pytest.fixture
+def db():
+    clock = SimulatedClock()
+    database = HomeworkDatabase(clock, default_capacity=64)
+    database.create_table(
+        "readings", [("device", "varchar"), ("value", "integer"), ("ok", "boolean")]
+    )
+    database.create_table("names", [("device", "varchar"), ("owner", "varchar")])
+
+    def tick(device, value, ok=True, dt=1.0):
+        clock.advance(dt)
+        database.insert("readings", {"device": device, "value": value, "ok": ok})
+
+    db_clock = clock
+    for i in range(10):
+        tick("laptop" if i % 2 == 0 else "tv", i * 10)
+    database.insert("names", {"device": "laptop", "owner": "tom"})
+    database.insert("names", {"device": "tv", "owner": "family"})
+    return database
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.value == "select" for t in tokens[:3])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].kind == "ident" and tokens[0].value == "myTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:2]] == ["42", "3.14"]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"hello"')[0].value == "hello"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QueryError):
+            tokenize("'oops")
+
+    def test_comment_skipped(self):
+        tokens = tokenize("select -- a comment\n1")
+        assert [t.value for t in tokens[:2]] == ["select", "1"]
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize("f.bytes")
+        assert [t.value for t in tokens[:3]] == ["f", ".", "bytes"]
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != <>")
+        assert [t.value for t in tokens[:4]] == ["<=", ">=", "!=", "<>"]
+
+    def test_bad_character(self):
+        with pytest.raises(QueryError):
+            tokenize("select @")
+
+
+class TestParser:
+    def test_select_star(self):
+        statement = parse("SELECT * FROM readings")
+        assert isinstance(statement, Select)
+        assert statement.star
+        assert statement.sources[0].table == "readings"
+
+    def test_window_range_units(self):
+        assert parse("SELECT * FROM t [RANGE 5 SECONDS]").sources[0].window.value == 5
+        assert parse("SELECT * FROM t [RANGE 2 MINUTES]").sources[0].window.value == 120
+        assert parse("SELECT * FROM t [RANGE 1 HOUR]").sources[0].window.value == 3600
+        assert parse("SELECT * FROM t [RANGE 500 MILLISECONDS]").sources[0].window.value == 0.5
+
+    def test_window_kinds(self):
+        assert parse("SELECT * FROM t [NOW]").sources[0].window.kind == W_NOW
+        assert parse("SELECT * FROM t [ROWS 10]").sources[0].window.kind == W_ROWS
+        assert parse("SELECT * FROM t [SINCE 42]").sources[0].window.kind == W_SINCE
+        assert parse("SELECT * FROM t [RANGE 5]").sources[0].window.kind == W_RANGE
+
+    def test_alias_forms(self):
+        statement = parse("SELECT a.x FROM mytable AS a")
+        assert statement.sources[0].alias == "a"
+        statement2 = parse("SELECT a.x FROM mytable a")
+        assert statement2.sources[0].alias == "a"
+
+    def test_join_sources(self):
+        statement = parse("SELECT * FROM a [ROWS 5] x, b [NOW] y WHERE x.k = y.k")
+        assert len(statement.sources) == 2
+
+    def test_projection_alias(self):
+        statement = parse("SELECT sum(v) AS total FROM t")
+        assert statement.projections[0].alias == "total"
+
+    def test_group_order_limit(self):
+        statement = parse(
+            "SELECT device, count(*) AS n FROM t GROUP BY device "
+            "ORDER BY n DESC LIMIT 3"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.order_by[0].descending
+        assert statement.limit == 3
+
+    def test_having(self):
+        statement = parse("SELECT device FROM t GROUP BY device HAVING count(*) > 2")
+        assert statement.having is not None
+
+    def test_insert(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert statement.table == "t"
+        assert statement.columns == ["a", "b"]
+        assert statement.values == [1, "x"]
+
+    def test_insert_negative_and_bool(self):
+        statement = parse("INSERT INTO t VALUES (-5, true, null)")
+        assert statement.values == [-5, True, None]
+
+    def test_create_table(self):
+        statement = parse("CREATE TABLE t (a integer, b varchar) BUFFER 128")
+        assert statement.columns == [("a", "integer"), ("b", "varchar")]
+        assert statement.buffer_rows == 128
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT * FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM t garbage extra")
+
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse("SELECT x")
+
+    def test_bad_window(self):
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM t [SOMETIME]")
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM t [RANGE -5 SECONDS]")
+
+    def test_not_a_statement(self):
+        with pytest.raises(QueryError):
+            parse("DELETE FROM t")
+
+
+class TestExecutor:
+    def test_select_star_columns(self, db):
+        result = db.query("SELECT * FROM readings")
+        assert result.columns == ["timestamp", "device", "value", "ok"]
+        assert len(result) == 10
+
+    def test_where_filter(self, db):
+        result = db.query("SELECT value FROM readings WHERE device = 'laptop'")
+        assert result.column("value") == [0, 20, 40, 60, 80]
+
+    def test_comparison_operators(self, db):
+        assert len(db.query("SELECT * FROM readings WHERE value >= 50")) == 5
+        assert len(db.query("SELECT * FROM readings WHERE value != 0")) == 9
+        assert len(db.query("SELECT * FROM readings WHERE value < 30 AND ok")) == 3
+
+    def test_arithmetic(self, db):
+        result = db.query("SELECT value * 2 + 1 AS v FROM readings LIMIT 1")
+        assert result.column("v") == [1]
+
+    def test_division_by_zero_null(self, db):
+        result = db.query("SELECT value / 0 AS v FROM readings LIMIT 1")
+        assert result.column("v") == [None]
+
+    def test_like(self, db):
+        result = db.query("SELECT device FROM readings WHERE device LIKE 'lap%' LIMIT 1")
+        assert result.column("device") == ["laptop"]
+
+    def test_in_list(self, db):
+        result = db.query("SELECT count(*) FROM readings WHERE value IN (0, 10, 999)")
+        assert result.scalar() == 2
+
+    def test_not_in(self, db):
+        result = db.query("SELECT count(*) FROM readings WHERE value NOT IN (0)")
+        assert result.scalar() == 9
+
+    def test_aggregates(self, db):
+        result = db.query(
+            "SELECT count(*) AS n, sum(value) AS s, avg(value) AS a, "
+            "min(value) AS lo, max(value) AS hi FROM readings"
+        )
+        row = result.to_dicts()[0]
+        assert row == {"n": 10, "s": 450, "a": 45.0, "lo": 0, "hi": 90}
+
+    def test_group_by(self, db):
+        result = db.query(
+            "SELECT device, count(*) AS n, sum(value) AS s FROM readings "
+            "GROUP BY device ORDER BY device"
+        )
+        assert result.rows == [("laptop", 5, 200), ("tv", 5, 250)]
+
+    def test_having(self, db):
+        result = db.query(
+            "SELECT device FROM readings GROUP BY device HAVING sum(value) > 220"
+        )
+        assert result.column("device") == ["tv"]
+
+    def test_first_last(self, db):
+        result = db.query(
+            "SELECT first(value) AS f, last(value) AS l FROM readings"
+        )
+        assert result.rows == [(0, 90)]
+
+    def test_order_by_desc_and_limit(self, db):
+        result = db.query("SELECT value FROM readings ORDER BY value DESC LIMIT 3")
+        assert result.column("value") == [90, 80, 70]
+
+    def test_order_by_position(self, db):
+        result = db.query("SELECT device, value FROM readings ORDER BY 2 DESC LIMIT 1")
+        assert result.rows == [("tv", 90)]
+
+    def test_window_range(self, db):
+        # Clock is at t=10; rows at t=1..10.
+        result = db.query("SELECT count(*) FROM readings [RANGE 3 SECONDS]")
+        assert result.scalar() == 4  # t in {7,8,9,10}
+
+    def test_window_rows(self, db):
+        result = db.query("SELECT value FROM readings [ROWS 2]")
+        assert result.column("value") == [80, 90]
+
+    def test_window_now(self, db):
+        result = db.query("SELECT value FROM readings [NOW]")
+        assert result.column("value") == [90]
+
+    def test_window_since(self, db):
+        result = db.query("SELECT count(*) FROM readings [SINCE 9]")
+        assert result.scalar() == 2
+
+    def test_join(self, db):
+        result = db.query(
+            "SELECT r.device, n.owner, sum(r.value) AS total "
+            "FROM readings r, names n WHERE r.device = n.device "
+            "GROUP BY r.device, n.owner ORDER BY total DESC"
+        )
+        assert result.rows == [("tv", "family", 250), ("laptop", "tom", 200)]
+
+    def test_join_star_qualified_columns(self, db):
+        result = db.query("SELECT * FROM readings r, names n WHERE r.device = n.device LIMIT 1")
+        assert "r.device" in result.columns and "n.owner" in result.columns
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT device FROM readings r, names n WHERE r.device = n.device")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT * FROM ghosts")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT missing FROM readings")
+
+    def test_timestamp_accessible(self, db):
+        result = db.query("SELECT timestamp FROM readings [NOW]")
+        assert result.rows[0][0] == 10.0
+
+    def test_scalar_functions(self, db):
+        result = db.query(
+            "SELECT abs(0 - 5) AS a, upper(device) AS u, length(device) AS n, "
+            "coalesce(null, 7) AS c, round(3.456, 1) AS r "
+            "FROM readings [NOW]"
+        )
+        assert result.to_dicts()[0] == {"a": 5, "u": "TV", "n": 2, "c": 7, "r": 3.5}
+
+    def test_now_function(self, db):
+        assert db.query("SELECT now() FROM readings [NOW]").rows[0][0] == 10.0
+
+    def test_is_null(self, db):
+        result = db.query("SELECT count(*) FROM readings WHERE device IS NOT NULL")
+        assert result.scalar() == 10
+
+    def test_empty_result_with_aggregate(self, db):
+        result = db.query("SELECT count(*) FROM readings WHERE value > 1000")
+        assert result.scalar() == 0
+
+    def test_insert_via_query(self, db):
+        db.query("INSERT INTO readings (device, value, ok) VALUES ('new', 5, false)")
+        result = db.query("SELECT device, ok FROM readings [NOW]")
+        assert result.rows == [("new", False)]
+
+    def test_create_via_query(self, db):
+        db.query("CREATE TABLE extras (x integer) BUFFER 4")
+        db.query("INSERT INTO extras VALUES (1)")
+        assert db.query("SELECT count(*) FROM extras").scalar() == 1
+
+    def test_result_set_helpers(self, db):
+        result = db.query("SELECT device, value FROM readings LIMIT 2")
+        assert len(result.to_dicts()) == 2
+        with pytest.raises(QueryError):
+            result.scalar()
+        with pytest.raises(QueryError):
+            result.column("nope")

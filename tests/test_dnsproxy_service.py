@@ -1,0 +1,288 @@
+"""DNS proxy tests: cache, filter, upstream, interception, flow admission."""
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.net.addresses import IPv4Address
+from repro.services.dnsproxy.cache import DnsCache, RequestedNames
+from repro.services.dnsproxy.filter import (
+    DeviceRule,
+    MODE_ALLOW,
+    MODE_DENY,
+    SiteFilter,
+    domain_matches,
+)
+from repro.services.dnsproxy.proxy import FLOW_ALLOWED, FLOW_BLOCKED
+from repro.services.dnsproxy.upstream import UpstreamResolver
+
+from tests.conftest import join_device
+
+
+class TestDomainMatching:
+    def test_exact(self):
+        assert domain_matches("facebook.com", "facebook.com")
+
+    def test_subdomain(self):
+        assert domain_matches("www.facebook.com", "facebook.com")
+        assert domain_matches("a.b.facebook.com", "facebook.com")
+
+    def test_not_suffix_string_match(self):
+        assert not domain_matches("notfacebook.com", "facebook.com")
+
+    def test_case_and_dots(self):
+        assert domain_matches("WWW.Facebook.COM.", "facebook.com")
+
+    def test_parent_not_matched_by_child(self):
+        assert not domain_matches("facebook.com", "www.facebook.com")
+
+
+class TestDeviceRule:
+    def test_allow_mode_default_permits(self):
+        assert DeviceRule(MODE_ALLOW).permits("anything.example")
+
+    def test_allow_mode_blocks_listed(self):
+        rule = DeviceRule(MODE_ALLOW, blocked=["youtube.com"])
+        assert not rule.permits("www.youtube.com")
+        assert rule.permits("bbc.co.uk")
+
+    def test_deny_mode_permits_only_listed(self):
+        rule = DeviceRule(MODE_DENY, allowed=["facebook.com"])
+        assert rule.permits("facebook.com")
+        assert rule.permits("www.facebook.com")
+        assert not rule.permits("youtube.com")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            DeviceRule("maybe")
+
+
+class TestSiteFilter:
+    MAC = "02:aa:00:00:00:01"
+
+    def test_default_allows(self):
+        assert SiteFilter().permits(self.MAC, "whatever.org")
+
+    def test_per_device_rule(self):
+        site_filter = SiteFilter()
+        site_filter.allow_only(self.MAC, ["facebook.com"])
+        assert site_filter.permits(self.MAC, "facebook.com")
+        assert not site_filter.permits(self.MAC, "youtube.com")
+        assert site_filter.permits("02:bb:00:00:00:02", "youtube.com")
+
+    def test_block_site_accumulates(self):
+        site_filter = SiteFilter()
+        site_filter.block_site(self.MAC, "a.com")
+        site_filter.block_site(self.MAC, "b.com")
+        assert not site_filter.permits(self.MAC, "a.com")
+        assert not site_filter.permits(self.MAC, "sub.b.com")
+        assert site_filter.permits(self.MAC, "c.com")
+
+    def test_clear_rule(self):
+        site_filter = SiteFilter()
+        site_filter.allow_only(self.MAC, ["x.com"])
+        site_filter.clear_rule(self.MAC)
+        assert site_filter.permits(self.MAC, "y.com")
+
+    def test_none_mac_uses_default(self):
+        site_filter = SiteFilter()
+        assert site_filter.permits(None, "x.com")
+
+    def test_denial_counter(self):
+        site_filter = SiteFilter()
+        site_filter.allow_only(self.MAC, ["x.com"])
+        site_filter.permits(self.MAC, "y.com")
+        assert site_filter.denials == 1
+
+
+class TestDnsCache:
+    def test_put_get(self):
+        cache = DnsCache(default_ttl=10.0)
+        cache.put("x.com", "1.2.3.4", now=0.0)
+        assert cache.get("x.com", 5.0) == IPv4Address("1.2.3.4")
+        assert cache.hits == 1
+
+    def test_expiry(self):
+        cache = DnsCache(default_ttl=10.0)
+        cache.put("x.com", "1.2.3.4", now=0.0)
+        assert cache.get("x.com", 10.0) is None
+        assert cache.misses == 1
+
+    def test_eviction_at_capacity(self):
+        cache = DnsCache(default_ttl=100.0, max_entries=2)
+        cache.put("a.com", "1.1.1.1", now=0.0, ttl=1.0)
+        cache.put("b.com", "2.2.2.2", now=0.0, ttl=100.0)
+        cache.put("c.com", "3.3.3.3", now=50.0)  # a expired, evicted
+        assert len(cache) == 2
+        assert cache.get("b.com", 51.0) is not None
+
+    def test_soonest_expiry_evicted_when_full(self):
+        cache = DnsCache(default_ttl=100.0, max_entries=2)
+        cache.put("a.com", "1.1.1.1", now=0.0, ttl=10.0)
+        cache.put("b.com", "2.2.2.2", now=0.0, ttl=100.0)
+        cache.put("c.com", "3.3.3.3", now=1.0)
+        assert cache.get("a.com", 2.0) is None
+        assert cache.get("b.com", 2.0) is not None
+
+    def test_hit_rate(self):
+        cache = DnsCache()
+        cache.put("x.com", "1.2.3.4", 0.0)
+        cache.get("x.com", 1.0)
+        cache.get("y.com", 1.0)
+        assert cache.hit_rate == 0.5
+
+
+class TestRequestedNames:
+    def test_record_and_lookup(self):
+        names = RequestedNames(binding_ttl=100.0)
+        names.record("10.2.0.6", "facebook.com", "31.13.72.36", now=0.0)
+        assert names.lookup("10.2.0.6", "31.13.72.36", 50.0) == "facebook.com"
+
+    def test_binding_expiry(self):
+        names = RequestedNames(binding_ttl=10.0)
+        names.record("10.2.0.6", "x.com", "1.1.1.1", now=0.0)
+        assert names.lookup("10.2.0.6", "1.1.1.1", 10.0) is None
+
+    def test_per_device_isolation(self):
+        names = RequestedNames()
+        names.record("10.2.0.6", "x.com", "1.1.1.1", now=0.0)
+        assert names.lookup("10.2.0.10", "1.1.1.1", 1.0) is None
+
+    def test_forget_device(self):
+        names = RequestedNames()
+        names.record("10.2.0.6", "x.com", "1.1.1.1", now=0.0)
+        names.forget_device("10.2.0.6")
+        assert names.lookup("10.2.0.6", "1.1.1.1", 1.0) is None
+
+    def test_names_for(self):
+        names = RequestedNames()
+        names.record("10.2.0.6", "x.com", "1.1.1.1", now=0.0)
+        names.record("10.2.0.6", "y.com", "2.2.2.2", now=0.0)
+        assert names.names_for("10.2.0.6", 1.0) == {"x.com", "y.com"}
+
+
+class TestUpstreamResolver:
+    def test_dict_zone(self):
+        sim = Simulator()
+        resolver = UpstreamResolver(sim, zone={"x.com": "1.2.3.4"}, latency=0.0)
+        results = []
+        resolver.resolve("x.com", results.append)
+        assert results == [IPv4Address("1.2.3.4")]
+
+    def test_latency_applied(self):
+        sim = Simulator()
+        resolver = UpstreamResolver(sim, zone={"x.com": "1.2.3.4"}, latency=0.5)
+        results = []
+        resolver.resolve("x.com", lambda ip: results.append(sim.now))
+        sim.run_for(1.0)
+        assert results == [0.5]
+
+    def test_reverse(self):
+        sim = Simulator()
+        resolver = UpstreamResolver(sim, zone={"x.com": "1.2.3.4"})
+        assert resolver.reverse("1.2.3.4") == "x.com"
+        assert resolver.reverse("9.9.9.9") is None
+
+    def test_unknown_name(self):
+        sim = Simulator()
+        resolver = UpstreamResolver(sim, zone={}, latency=0.0)
+        results = []
+        resolver.resolve("ghost.example", results.append)
+        assert results == [None]
+
+
+@pytest.fixture
+def live():
+    """Router + joined device, DNS proxy in the path."""
+    sim = Simulator(seed=31)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    host = join_device(router, "laptop", "02:aa:00:00:00:01")
+    return sim, router, host
+
+
+class TestProxyInterception:
+    def test_query_answered_through_proxy(self, live):
+        sim, router, host = live
+        results = []
+        host.resolve("facebook.com", lambda ip, rc: results.append(str(ip)))
+        sim.run_for(1.0)
+        assert results == ["31.13.72.36"]
+        assert router.dns_proxy.queries_seen == 1
+        assert router.dns_proxy.upstream_answers == 1
+
+    def test_second_query_hits_proxy_cache(self, live):
+        sim, router, host = live
+        host.resolve("facebook.com", lambda ip, rc: None)
+        sim.run_for(1.0)
+        host.dns_cache.clear()  # defeat the stub cache, not the proxy's
+        host.resolve("facebook.com", lambda ip, rc: None)
+        sim.run_for(1.0)
+        assert router.dns_proxy.cache_answers == 1
+
+    def test_blocked_name_gets_nxdomain(self, live):
+        sim, router, host = live
+        router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+        results = []
+        host.resolve("www.youtube.com", lambda ip, rc: results.append((ip, rc)))
+        sim.run_for(1.0)
+        assert results[0][0] is None
+        assert results[0][1] == 3  # NXDOMAIN
+        assert router.dns_proxy.queries_blocked == 1
+
+    def test_queries_recorded_in_hwdb(self, live):
+        sim, router, host = live
+        host.resolve("facebook.com", lambda ip, rc: None)
+        sim.run_for(1.0)
+        result = router.db.query("SELECT name, allowed FROM dns")
+        assert ("facebook.com", True) in result.rows
+
+    def test_unknown_name_nxdomain(self, live):
+        sim, router, host = live
+        results = []
+        host.resolve("no.such.site", lambda ip, rc: results.append(rc))
+        sim.run_for(1.0)
+        assert results == [3]
+
+
+class TestFlowAdmission:
+    def test_resolved_flow_allowed(self, live):
+        sim, router, host = live
+        results = []
+        host.resolve("facebook.com", lambda ip, rc: results.append(ip))
+        sim.run_for(1.0)
+        verdict = router.dns_proxy.check_flow(host.ip, results[0])
+        assert verdict == FLOW_ALLOWED
+
+    def test_unresolved_flow_reverse_checked(self, live):
+        sim, router, host = live
+        router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+        # Device never resolved youtube but connects straight to its IP.
+        youtube = router.cloud.lookup("www.youtube.com")
+        verdict = router.dns_proxy.check_flow(host.ip, youtube)
+        assert verdict == FLOW_BLOCKED
+        assert router.dns_proxy.flow_blocks == 1
+
+    def test_reverse_check_allows_permitted_site(self, live):
+        sim, router, host = live
+        router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+        facebook = router.cloud.lookup("facebook.com")
+        assert router.dns_proxy.check_flow(host.ip, facebook) == FLOW_ALLOWED
+
+    def test_unknown_ip_blocked_for_whitelisted_device(self, live):
+        sim, router, host = live
+        router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+        assert router.dns_proxy.check_flow(host.ip, "203.0.113.7") == FLOW_BLOCKED
+
+    def test_unknown_ip_allowed_for_unrestricted_device(self, live):
+        sim, router, host = live
+        assert router.dns_proxy.check_flow(host.ip, "203.0.113.7") == FLOW_ALLOWED
+
+    def test_end_to_end_blocked_connection(self, live):
+        """Direct-to-IP traffic to a blocked site never completes."""
+        sim, router, host = live
+        router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+        youtube = router.cloud.lookup("www.youtube.com")
+        conn = host.tcp_connect(youtube, 443)
+        sim.run_for(3.0)
+        assert conn.state == "SYN_SENT"  # never got an answer
+        assert router.router_core.flows_blocked >= 1

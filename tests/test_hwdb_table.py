@@ -1,0 +1,153 @@
+"""Ring-buffer stream table tests, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import HwdbError
+from repro.hwdb.table import Column, StreamTable
+from repro.hwdb.types import INTEGER, MACADDR, REAL, VARCHAR, type_by_name
+
+
+def make_table(capacity=8):
+    return StreamTable(
+        "events",
+        [Column("device", VARCHAR), Column("value", INTEGER)],
+        capacity=capacity,
+    )
+
+
+class TestSchema:
+    def test_column_names(self):
+        table = make_table()
+        assert table.column_names() == ["device", "value"]
+
+    def test_reserved_timestamp_column(self):
+        with pytest.raises(HwdbError):
+            StreamTable("t", [Column("timestamp", REAL)])
+
+    def test_duplicate_column(self):
+        with pytest.raises(HwdbError):
+            StreamTable("t", [Column("a", REAL), Column("a", INTEGER)])
+
+    def test_bad_capacity(self):
+        with pytest.raises(HwdbError):
+            StreamTable("t", [Column("a", REAL)], capacity=0)
+
+    def test_column_position(self):
+        table = make_table()
+        assert table.column_position("value") == 1
+        with pytest.raises(HwdbError):
+            table.column_position("missing")
+
+    def test_has_column_includes_timestamp(self):
+        assert make_table().has_column("timestamp")
+
+    def test_type_registry(self):
+        assert type_by_name("int") is INTEGER
+        assert type_by_name("MAC") is MACADDR
+        with pytest.raises(HwdbError):
+            type_by_name("blob")
+
+
+class TestInsert:
+    def test_coercion(self):
+        table = make_table()
+        row = table.insert(1.0, ["laptop", "42"])
+        assert row.values == ("laptop", 42)
+
+    def test_bad_coercion(self):
+        with pytest.raises(HwdbError):
+            make_table().insert(1.0, ["laptop", "not-a-number"])
+
+    def test_wrong_arity(self):
+        with pytest.raises(HwdbError):
+            make_table().insert(1.0, ["only-one"])
+
+    def test_insert_dict(self):
+        table = make_table()
+        row = table.insert_dict(1.0, {"device": "tv", "value": 7})
+        assert row.values == ("tv", 7)
+
+    def test_insert_dict_missing_key(self):
+        with pytest.raises(HwdbError):
+            make_table().insert_dict(1.0, {"device": "tv"})
+
+    def test_timestamps_monotone_clamped(self):
+        table = make_table()
+        table.insert(5.0, ["a", 1])
+        row = table.insert(3.0, ["b", 2])  # out of order: clamped
+        assert row.timestamp == 5.0
+
+    def test_mac_column_normalised(self):
+        table = StreamTable("t", [Column("mac", MACADDR)])
+        row = table.insert(0.0, ["02-AA-00-00-00-01"])
+        assert row.values[0] == "02:aa:00:00:00:01"
+
+
+class TestRingBehaviour:
+    def test_wraps_at_capacity(self):
+        table = make_table(capacity=4)
+        for i in range(10):
+            table.insert(float(i), [f"d{i}", i])
+        assert len(table) == 4
+        values = [row.values[1] for row in table.rows()]
+        assert values == [6, 7, 8, 9]
+        assert table.total_inserted == 10
+        assert table.overwritten == 6
+
+    def test_oldest_newest(self):
+        table = make_table(capacity=3)
+        for i in range(5):
+            table.insert(float(i), [f"d{i}", i])
+        assert table.oldest().values[1] == 2
+        assert table.newest().values[1] == 4
+
+    def test_empty_table(self):
+        table = make_table()
+        assert list(table.rows()) == []
+        assert table.newest() is None
+        assert table.oldest() is None
+        assert table.last_rows(5) == []
+
+    def test_rows_since(self):
+        table = make_table(capacity=16)
+        for i in range(10):
+            table.insert(float(i), [f"d{i}", i])
+        assert [r.values[1] for r in table.rows_since(7.0)] == [7, 8, 9]
+
+    def test_last_rows(self):
+        table = make_table(capacity=16)
+        for i in range(10):
+            table.insert(float(i), [f"d{i}", i])
+        assert [r.values[1] for r in table.last_rows(3)] == [7, 8, 9]
+        assert len(table.last_rows(100)) == 10
+
+    def test_clear(self):
+        table = make_table()
+        table.insert(0.0, ["a", 1])
+        table.clear()
+        assert len(table) == 0
+
+    def test_row_as_dict(self):
+        table = make_table()
+        row = table.insert(2.5, ["tv", 9])
+        assert table.row_as_dict(row) == {"timestamp": 2.5, "device": "tv", "value": 9}
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.lists(st.integers(min_value=0, max_value=1000), max_size=100),
+    )
+    def test_ring_invariants(self, capacity, values):
+        """Retained rows are always the most recent min(n, capacity)."""
+        table = StreamTable("t", [Column("v", INTEGER)], capacity=capacity)
+        for i, value in enumerate(values):
+            table.insert(float(i), [value])
+        retained = [row.values[0] for row in table.rows()]
+        expected = values[-min(len(values), capacity):]
+        assert retained == expected
+        assert len(table) == min(len(values), capacity)
+        assert table.total_inserted == len(values)
+        # Timestamps are non-decreasing.
+        stamps = [row.timestamp for row in table.rows()]
+        assert stamps == sorted(stamps)

@@ -1,0 +1,91 @@
+"""OpenFlow OFPFF_CHECK_OVERLAP semantics."""
+
+import pytest
+
+from repro.core.errors import DatapathError
+from repro.openflow.actions import output
+from repro.openflow.channel import SecureChannel
+from repro.openflow.datapath import Datapath
+from repro.openflow.flow_table import FlowEntry, FlowTable, _overlaps
+from repro.openflow.match import Match
+from repro.openflow.messages import ErrorMessage, FlowMod
+from repro.sim.simulator import Simulator
+
+
+class TestOverlapPredicate:
+    def test_identical_overlap(self):
+        assert _overlaps(Match(tp_dst=80), Match(tp_dst=80))
+
+    def test_disjoint_field(self):
+        assert not _overlaps(Match(tp_dst=80), Match(tp_dst=443))
+
+    def test_wildcard_overlaps_specific(self):
+        assert _overlaps(Match.any(), Match(tp_dst=80))
+
+    def test_orthogonal_fields_overlap(self):
+        # One constrains tp_dst, the other nw_proto: a packet can match both.
+        assert _overlaps(Match(tp_dst=80), Match(nw_proto=6))
+
+    def test_cidr_overlap(self):
+        a = Match(nw_src="10.0.0.0", nw_src_prefix=8)
+        b = Match(nw_src="10.1.2.3", nw_src_prefix=32)
+        assert _overlaps(a, b)
+
+    def test_cidr_disjoint(self):
+        a = Match(nw_src="10.0.0.0", nw_src_prefix=8)
+        b = Match(nw_src="11.0.0.0", nw_src_prefix=8)
+        assert not _overlaps(a, b)
+
+
+class TestTableOverlapCheck:
+    def test_same_priority_overlap_rejected(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(tp_dst=80), output(1), priority=50))
+        with pytest.raises(DatapathError):
+            table.add(
+                FlowEntry(Match(nw_proto=6), output(2), priority=50),
+                check_overlap=True,
+            )
+
+    def test_different_priority_allowed(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(tp_dst=80), output(1), priority=50))
+        table.add(
+            FlowEntry(Match(nw_proto=6), output(2), priority=60),
+            check_overlap=True,
+        )
+        assert len(table) == 2
+
+    def test_disjoint_same_priority_allowed(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(tp_dst=80), output(1), priority=50))
+        table.add(
+            FlowEntry(Match(tp_dst=443), output(2), priority=50),
+            check_overlap=True,
+        )
+        assert len(table) == 2
+
+    def test_without_flag_overlap_permitted(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(tp_dst=80), output(1), priority=50))
+        table.add(FlowEntry(Match(nw_proto=6), output(2), priority=50))
+        assert len(table) == 2
+
+
+class TestProtocolLevel:
+    def test_flow_mod_overlap_error_message(self):
+        sim = Simulator(seed=901)
+        dp = Datapath(sim)
+        dp.add_port("p1")
+        messages = []
+        channel = SecureChannel(sim, latency=0.0)
+        channel.connect(dp, messages.append)
+        dp.handle_message(FlowMod.add(Match(tp_dst=80), output(1), priority=50))
+        dp.handle_message(
+            FlowMod.add(
+                Match(nw_proto=6), output(1), priority=50, check_overlap=True
+            )
+        )
+        errors = [m for m in messages if isinstance(m, ErrorMessage)]
+        assert errors and errors[0].error_type == "overlap"
+        assert len(dp.table) == 1  # the conflicting rule was not added

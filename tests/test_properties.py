@@ -1,0 +1,231 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import ETH_TYPE_IPV4, Ethernet, IPv4, IPv4Address, MACAddress, TCP, UDP
+from repro.net.ipv4 import PROTO_TCP, PROTO_UDP
+from repro.openflow.actions import output
+from repro.openflow.flow_table import FlowEntry, FlowTable, _covers
+from repro.openflow.match import FlowKey, Match
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import DNS_BLOCK, DNS_ONLY, NET_ALLOW, NET_DENY, Policy
+from repro.core.events import EventBus
+from repro.services.nat import NatTable
+from repro.sim.simulator import Simulator
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+ports = st.integers(min_value=0, max_value=65535)
+ips = st.integers(min_value=1, max_value=(1 << 32) - 2).map(IPv4Address)
+macs = st.integers(min_value=1, max_value=(1 << 48) - 2).map(MACAddress)
+protos = st.sampled_from([PROTO_TCP, PROTO_UDP])
+
+
+@st.composite
+def flow_keys(draw):
+    proto = draw(protos)
+    payload = (
+        TCP(draw(ports), draw(ports))
+        if proto == PROTO_TCP
+        else UDP(draw(ports), draw(ports))
+    )
+    frame = Ethernet(
+        draw(macs),
+        draw(macs),
+        ETH_TYPE_IPV4,
+        IPv4(draw(ips), draw(ips), proto=proto, payload=payload),
+    )
+    return FlowKey.extract(frame.pack(), draw(st.integers(min_value=1, max_value=8)))
+
+
+@st.composite
+def wildcard_matches(draw, key):
+    """A match derived from ``key`` with a random subset of fields kept."""
+    kwargs = {}
+    if draw(st.booleans()):
+        kwargs["in_port"] = key.in_port
+    if draw(st.booleans()):
+        kwargs["dl_src"] = key.dl_src
+    if draw(st.booleans()):
+        kwargs["dl_dst"] = key.dl_dst
+    if draw(st.booleans()):
+        kwargs["dl_type"] = key.dl_type
+    if draw(st.booleans()):
+        kwargs["nw_proto"] = key.nw_proto
+    if draw(st.booleans()):
+        kwargs["tp_src"] = key.tp_src
+    if draw(st.booleans()):
+        kwargs["tp_dst"] = key.tp_dst
+    if draw(st.booleans()):
+        prefix = draw(st.integers(min_value=0, max_value=32))
+        kwargs["nw_src"] = key.nw_src
+        kwargs["nw_src_prefix"] = prefix
+    return Match(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# OpenFlow matching invariants
+# ----------------------------------------------------------------------
+
+class TestMatchProperties:
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_derived_wildcard_always_matches_its_key(self, data):
+        key = data.draw(flow_keys())
+        match = data.draw(wildcard_matches(key))
+        assert match.matches(key)
+
+    @settings(max_examples=100)
+    @given(flow_keys())
+    def test_exact_match_is_exact(self, key):
+        match = Match.from_key(key)
+        assert match.is_exact
+        assert match.matches(key)
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_covers_is_consistent_with_matches(self, data):
+        """If wide covers narrow, anything narrow matches, wide matches."""
+        key = data.draw(flow_keys())
+        wide = data.draw(wildcard_matches(key))
+        narrow = Match.from_key(key)
+        if _covers(wide, narrow):
+            assert wide.matches(key)
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_lookup_returns_highest_priority_match(self, data):
+        key = data.draw(flow_keys())
+        table = FlowTable()
+        entries = []
+        for index in range(data.draw(st.integers(min_value=1, max_value=5))):
+            match = data.draw(wildcard_matches(key))
+            priority = data.draw(st.integers(min_value=0, max_value=1000))
+            entry = FlowEntry(match, output(1), priority=priority)
+            entries.append(entry)
+            table.add(entry, replace=False)
+        hit = table.lookup(key)
+        assert hit is not None  # every entry matches by construction
+        assert hit.priority == max(e.priority for e in entries)
+
+
+# ----------------------------------------------------------------------
+# NAT invariants
+# ----------------------------------------------------------------------
+
+class TestNatProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(protos, ips, ports),
+            min_size=1,
+            max_size=50,
+            unique=True,
+        )
+    )
+    def test_bindings_bijective(self, flows):
+        table = NatTable(IPv4Address("82.10.0.2"))
+        bindings = [
+            table.bind(proto, ip, port, 0.0) for proto, ip, port in flows
+        ]
+        # Forward and reverse lookups agree for every binding.
+        for binding in bindings:
+            assert (
+                table.lookup_external(binding.proto, binding.external_port)
+                is binding
+            )
+            assert (
+                table.lookup_private(
+                    binding.proto, binding.device_ip, binding.device_port
+                )
+                is binding
+            )
+        # No two distinct flows share (proto, external port).
+        keys = {(b.proto, b.external_port) for b in bindings}
+        assert len(keys) == len({(f[0], str(f[1]), f[2]) for f in flows})
+
+
+# ----------------------------------------------------------------------
+# Policy engine invariants
+# ----------------------------------------------------------------------
+
+sites = st.lists(
+    st.sampled_from(["a.com", "b.com", "c.com", "d.com"]), min_size=1, max_size=3
+)
+
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def policies(draw, target):
+    kind = draw(st.sampled_from(["deny_net", "only", "block"]))
+    if kind == "deny_net":
+        return Policy(draw(_names), [target], network=NET_DENY)
+    if kind == "only":
+        return Policy(
+            draw(_names), [target], dns_mode=DNS_ONLY, sites=draw(sites)
+        )
+    return Policy(draw(_names), [target], dns_mode=DNS_BLOCK, sites=draw(sites))
+
+
+class TestPolicyEngineProperties:
+    MAC = "02:aa:00:00:00:01"
+
+    @settings(max_examples=60)
+    @given(st.lists(policies(target="02:aa:00:00:00:01"), max_size=5))
+    def test_adding_policies_never_loosens(self, policy_list):
+        """Monotonicity: each added policy can only restrict further."""
+        engine = PolicyEngine(EventBus())
+        previous = engine.restrictions_for(self.MAC, 0.0)
+        for policy in policy_list:
+            engine._policies[policy.id] = policy  # no enforcement plumbing
+            engine._managed.update(policy.targets)
+            current = engine.restrictions_for(self.MAC, 0.0)
+            # Network can only go allow -> deny, never back.
+            assert current.network_allowed <= previous.network_allowed
+            # A whitelist can only shrink once present.
+            if previous.dns_mode == DNS_ONLY:
+                assert current.dns_mode == DNS_ONLY
+                assert set(current.sites) <= set(previous.sites)
+            previous = current
+
+    @settings(max_examples=60)
+    @given(st.lists(policies(target="02:aa:00:00:00:01"), min_size=1, max_size=5))
+    def test_whitelist_never_contains_blocked(self, policy_list):
+        engine = PolicyEngine(EventBus())
+        blocked = set()
+        for policy in policy_list:
+            engine._policies[policy.id] = policy
+            engine._managed.update(policy.targets)
+            if policy.dns_mode == DNS_BLOCK:
+                blocked.update(policy.sites)
+        restrictions = engine.restrictions_for(self.MAC, 0.0)
+        if restrictions.dns_mode == DNS_ONLY:
+            assert not (set(restrictions.sites) & blocked)
+
+
+# ----------------------------------------------------------------------
+# Simulator invariants
+# ----------------------------------------------------------------------
+
+class TestSimulatorProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+    def test_execution_respects_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append((sim.now, d)))
+        sim.run_until(101.0)
+        times = [t for t, _d in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(delays)
+        for fired_at, delay in fired:
+            assert fired_at == delay

@@ -1,0 +1,74 @@
+"""Schedule transitions take effect as simulated time passes.
+
+The paper's example policy only applies "on weekdays after they've
+finished their homework" — so when the window opens or closes, or the
+week rolls into the weekend, enforcement must follow the clock without
+any install/remove/USB trigger.
+"""
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.policy.cartoon import CartoonStrip
+from repro.policy.schedule import SECONDS_PER_DAY
+
+from tests.conftest import join_device
+
+
+def _verdict(sim, host, name):
+    host.dns_cache.clear()
+    outcome = []
+    host.resolve(name, lambda ip, rc: outcome.append(ip))
+    sim.run_for(1.5)
+    return outcome[0] if outcome else None
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=901)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    kid = join_device(router, "kids-ipad", "02:aa:00:00:00:03")
+    strip = CartoonStrip("kids: facebook only, weekday evenings")
+    strip.panel_who(kid.mac)
+    strip.panel_what("only_these_sites", ["facebook.com"])
+    strip.panel_when("weekdays", "17:00", "22:00")
+    router.policy_engine.install(strip.compile(), sim.now)
+    return sim, router, kid
+
+
+class TestWindowTransitions:
+    def test_window_opens_without_any_trigger(self, env):
+        sim, router, kid = env
+        # Monday 12:00 — before the window: everything allowed.
+        sim.run_until(12 * 3600.0)
+        assert _verdict(sim, kid, "www.youtube.com") is not None
+        # Time passes to Monday 18:00 — the periodic enforcement tick
+        # must have armed the restriction on its own.
+        sim.run_until(18 * 3600.0)
+        assert _verdict(sim, kid, "www.youtube.com") is None
+        assert _verdict(sim, kid, "facebook.com") is not None
+
+    def test_window_closes_without_any_trigger(self, env):
+        sim, router, kid = env
+        sim.run_until(18 * 3600.0)  # in the window
+        assert _verdict(sim, kid, "www.youtube.com") is None
+        sim.run_until(22 * 3600.0 + 60.0)  # window closed
+        assert _verdict(sim, kid, "www.youtube.com") is not None
+
+    def test_weekend_rollover(self, env):
+        sim, router, kid = env
+        # Friday 18:00: restricted.
+        sim.run_until(4 * SECONDS_PER_DAY + 18 * 3600.0)
+        assert _verdict(sim, kid, "www.youtube.com") is None
+        # Saturday 18:00: weekday schedule idle.
+        sim.run_until(5 * SECONDS_PER_DAY + 18 * 3600.0)
+        assert _verdict(sim, kid, "www.youtube.com") is not None
+
+    def test_stop_scheduler_freezes_enforcement(self, env):
+        sim, router, kid = env
+        sim.run_until(18 * 3600.0)
+        assert _verdict(sim, kid, "www.youtube.com") is None
+        router.policy_engine.stop_scheduler()
+        sim.run_until(23 * 3600.0)  # window over, but nobody re-enforced
+        assert _verdict(sim, kid, "www.youtube.com") is None

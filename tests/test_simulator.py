@@ -1,0 +1,171 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run_until(10.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule(1.0, lambda l=label: order.append(l))
+    sim.run_until(2.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run_until(5.0)
+    assert seen == [1.5]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_at_horizon():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, lambda: seen.append("late"))
+    executed = sim.run_until(5.0)
+    assert executed == 0
+    assert seen == []
+    sim.run_until(10.0)
+    assert seen == ["late"]
+
+
+def test_run_for_relative():
+    sim = Simulator()
+    sim.run_for(3.0)
+    assert sim.now == 3.0
+    sim.run_for(2.0)
+    assert sim.now == 5.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_run_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(4.0)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, lambda: seen.append(1))
+    handle.cancel()
+    sim.run_until(2.0)
+    assert seen == []
+
+
+def test_periodic_fires_repeatedly():
+    sim = Simulator()
+    seen = []
+    sim.schedule_periodic(1.0, lambda: seen.append(sim.now))
+    sim.run_until(5.5)
+    assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_periodic_first_delay():
+    sim = Simulator()
+    seen = []
+    sim.schedule_periodic(2.0, lambda: seen.append(sim.now), first_delay=0.5)
+    sim.run_until(5.0)
+    assert seen == [0.5, 2.5, 4.5]
+
+
+def test_periodic_cancel_stops_series():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule_periodic(1.0, lambda: seen.append(sim.now))
+    sim.run_until(2.5)
+    handle.cancel()
+    sim.run_until(10.0)
+    assert seen == [1.0, 2.0]
+
+
+def test_periodic_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(0.0, lambda: None)
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run_until(5.0)
+    assert seen == [2.0]
+
+
+def test_run_drains_oneshot_queue():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(2.0, lambda: seen.append(2))
+    executed = sim.run()
+    assert executed == 2
+    assert seen == [1, 2]
+
+
+def test_run_stops_at_periodic():
+    sim = Simulator()
+    sim.schedule_periodic(1.0, lambda: None)
+    executed = sim.run(max_events=100)
+    assert executed == 0  # periodic events are not drained
+
+
+def test_pending_counts_uncancelled():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    a.cancel()
+    assert sim.pending() == 1
+
+
+def test_determinism_same_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        values = []
+        sim.schedule_periodic(0.5, lambda: values.append(sim.random.random()))
+        sim.run_until(5.0)
+        return values
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run_until(3.0)
+    assert sim.events_executed == 2

@@ -1,0 +1,174 @@
+"""Traffic generators and the simulated Internet cloud."""
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.net.addresses import IPv4Address
+from repro.sim.host import Host
+from repro.sim.link import Link
+from repro.sim.traffic import (
+    BulkDownload,
+    DEFAULT_WORKLOADS,
+    IoTTelemetry,
+    MailSync,
+    SSHSession,
+    VideoStreaming,
+    WebBrowsing,
+)
+from repro.sim.upstream import DEFAULT_ZONE, InternetCloud
+
+from tests.conftest import join_device
+
+
+@pytest.fixture
+def direct():
+    """A host wired straight to the cloud (no router in between)."""
+    sim = Simulator(seed=91)
+    cloud = InternetCloud(sim, ip="82.10.0.1")
+    host = Host(sim, "client", "02:00:00:00:00:41")
+    Link(sim, host.port, cloud.port)
+    host.configure_static(
+        "82.10.0.2", "255.255.255.0", gateway="82.10.0.1", dns_server="82.10.0.1"
+    )
+    return sim, cloud, host
+
+
+class TestInternetCloud:
+    def test_serves_any_destination_ip(self, direct):
+        sim, cloud, host = direct
+        target = cloud.lookup("facebook.com")
+        conn = host.tcp_connect(target, 443)
+        received = []
+        conn.on_connect = lambda: conn.send(b"GET 1000 /x")
+        conn.on_data = received.append
+        sim.run_for(3.0)
+        assert sum(len(d) for d in received) == 1000
+        assert cloud.connections_served == 1
+
+    def test_get_size_protocol(self, direct):
+        sim, cloud, host = direct
+        conn = host.tcp_connect(cloud.lookup("bbc.co.uk"), 80)
+        total = {"n": 0}
+        conn.on_connect = lambda: conn.send(b"GET 12345 /page")
+        conn.on_data = lambda data: total.__setitem__("n", total["n"] + len(data))
+        sim.run_for(3.0)
+        assert total["n"] == 12345
+
+    def test_default_response_size(self, direct):
+        sim, cloud, host = direct
+        cloud.response_size = 777
+        conn = host.tcp_connect(cloud.lookup("bbc.co.uk"), 80)
+        total = {"n": 0}
+        conn.on_connect = lambda: conn.send(b"plain request")
+        conn.on_data = lambda data: total.__setitem__("n", total["n"] + len(data))
+        sim.run_for(3.0)
+        assert total["n"] == 777
+
+    def test_zone_lookup_and_reverse(self):
+        sim = Simulator()
+        cloud = InternetCloud(sim)
+        assert cloud.lookup("facebook.com") == IPv4Address("31.13.72.36")
+        assert cloud.reverse_lookup("31.13.72.36") in ("facebook.com", "www.facebook.com")
+        assert cloud.lookup("nope.example") is None
+        assert cloud.reverse_lookup("203.0.113.1") is None
+
+    def test_add_site(self):
+        sim = Simulator()
+        cloud = InternetCloud(sim)
+        cloud.add_site("New.Example.COM", "198.51.100.7")
+        assert cloud.lookup("new.example.com") == IPv4Address("198.51.100.7")
+
+    def test_default_zone_has_paper_sites(self):
+        assert "facebook.com" in DEFAULT_ZONE
+
+    def test_echo_reply_from_any_ip(self, direct):
+        sim, _cloud, host = direct
+        results = []
+        host.ping("93.184.216.34", lambda ok, rtt: results.append(ok))
+        sim.run_for(2.0)
+        assert results == [True]
+
+
+@pytest.fixture
+def routed():
+    sim = Simulator(seed=92)
+    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router.start()
+    host = join_device(router, "laptop", "02:aa:00:00:00:01")
+    return sim, router, host
+
+
+class TestGenerators:
+    def run_generator(self, routed, generator_cls, duration=25.0, **kwargs):
+        sim, router, host = routed
+        generator = generator_cls(host, **kwargs)
+        generator.start(0.1)
+        sim.run_for(duration)
+        generator.stop()
+        return generator, router
+
+    def test_web_browsing(self, routed):
+        generator, router = self.run_generator(routed, WebBrowsing)
+        assert generator.sessions_started >= 2
+        assert generator.sessions_completed >= 1
+        assert generator.bytes_downloaded > 10_000
+
+    def test_video_streaming_steady_chunks(self, routed):
+        generator, _router = self.run_generator(routed, VideoStreaming, duration=15.0)
+        assert generator.sessions_started >= 5  # 2-second chunks
+        assert generator.bytes_downloaded > 500_000
+
+    def test_mail_sync(self, routed):
+        generator, _router = self.run_generator(routed, MailSync, duration=50.0)
+        assert generator.sessions_completed >= 1
+
+    def test_ssh_small_exchanges(self, routed):
+        generator, _router = self.run_generator(routed, SSHSession, duration=10.0)
+        assert generator.sessions_completed >= 2
+        # Interactive: small transfers.
+        per_session = generator.bytes_downloaded / max(1, generator.sessions_completed)
+        assert per_session < 2000
+
+    def test_iot_udp_telemetry(self, routed):
+        generator, router = self.run_generator(routed, IoTTelemetry, duration=30.0)
+        assert generator.sessions_completed >= 1
+        assert generator.bytes_uploaded > 0
+
+    def test_bulk_download_large(self, routed):
+        sim, router, host = routed
+        generator = BulkDownload(host)
+        generator.start(0.1)
+        sim.run_for(60.0)
+        generator.stop()
+        assert generator.bytes_downloaded > 1_000_000
+
+    def test_stop_prevents_new_sessions(self, routed):
+        sim, _router, host = routed
+        generator = WebBrowsing(host)
+        generator.start(0.1)
+        sim.run_for(6.0)
+        generator.stop()
+        started = generator.sessions_started
+        sim.run_for(20.0)
+        assert generator.sessions_started == started
+
+    def test_failed_resolution_counted(self, routed):
+        sim, router, host = routed
+        generator = WebBrowsing(host, site="does.not.exist")
+        generator.start(0.1)
+        sim.run_for(10.0)
+        assert generator.sessions_failed >= 1
+        assert generator.sessions_completed == 0
+
+    def test_blocked_site_fails_sessions(self, routed):
+        sim, router, host = routed
+        router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+        generator = WebBrowsing(host, site="www.youtube.com")
+        generator.start(0.1)
+        sim.run_for(10.0)
+        assert generator.sessions_failed >= 1
+        assert generator.bytes_downloaded == 0
+
+    def test_default_workloads_table(self):
+        assert WebBrowsing in DEFAULT_WORKLOADS["laptop"]
+        assert VideoStreaming in DEFAULT_WORKLOADS["tv"]

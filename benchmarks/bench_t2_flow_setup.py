@@ -4,11 +4,19 @@ The OVS-style architecture's defining shape: the kernel exact-match
 cache is far cheaper than the userspace wildcard table, which is far
 cheaper than a controller round trip.  Reports per-path packet cost and
 the two-tier-vs-single-table ablation called out in DESIGN.md §5.
+
+Run under pytest-benchmark for statistics, or directly —
+``PYTHONPATH=src python benchmarks/bench_t2_flow_setup.py`` — to write a
+``BENCH_T2.json`` summary with histogram percentiles per lookup tier.
 """
 
 import itertools
+import json
+import time
 
 import pytest
+
+from repro.obs import Histogram, MetricsRegistry
 
 from repro.net import ETH_TYPE_IPV4, Ethernet, IPv4, PROTO_TCP, TCP
 from repro.nox.controller import Controller
@@ -135,3 +143,80 @@ def test_t2_rewrite_cost(benchmark):
     dp.process_frame(raw, 1)
     benchmark(dp.process_frame, raw, 1)
     benchmark.extra_info["path"] = "cache hit + MAC rewrite"
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: measure with the obs histograms and dump BENCH_T2.json
+# ----------------------------------------------------------------------
+
+
+def _time_loop(fn, hist: Histogram, iterations: int) -> None:
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        hist.observe(time.perf_counter() - start)
+
+
+def main(out_path="BENCH_T2.json", packets=5000, misses=300) -> dict:
+    registry = MetricsRegistry()
+    report = {"experiment": "T2 flow setup", "packets_per_tier": packets}
+
+    # Tier 1: kernel-style exact-match cache hit.
+    _sim, dp = make_datapath(wildcard_rules=100)
+    dp.table.add(FlowEntry(Match(tp_dst=443), output(2), priority=50))
+    raw = frame_bytes()
+    dp.process_frame(raw, 1)  # warm the microflow cache
+    cache_hist = registry.histogram("bench.cache_hit_seconds")
+    _time_loop(lambda: dp.process_frame(raw, 1), cache_hist, packets)
+    report["exact_cache_hit"] = dict(cache_hist.fields())
+
+    # Tier 2: userspace wildcard table scan (100 distractor rules).
+    _sim, dp = make_datapath(enable_cache=False, wildcard_rules=100)
+    dp.table.add(FlowEntry(Match(tp_dst=443), output(2), priority=50))
+    raw = frame_bytes()
+    wild_hist = registry.histogram("bench.wildcard_hit_seconds")
+    _time_loop(lambda: dp.process_frame(raw, 1), wild_hist, packets)
+    report["wildcard_table_hit"] = dict(wild_hist.fields())
+
+    # Tier 3: the full controller round trip on a table miss.  Wall time
+    # here, plus the datapath's own punt→flow-mod histogram in simulated
+    # seconds — the same instrument the live router exports.
+    sim = Simulator(seed=1)
+    dp = Datapath(sim, registry=registry)
+    dp.add_port("in")
+    dp.add_port("out")
+    channel = SecureChannel(sim, latency=0.0005)
+    controller = Controller(sim, registry=registry)
+    channel.connect(dp, controller.receive)
+    controller.connect(channel)
+    controller.add_component(L2LearningSwitch, idle_timeout=0.0)
+    miss_hist = registry.histogram("bench.controller_miss_seconds")
+
+    def miss_and_setup():
+        raw = frame_bytes(sport=next(_sport))
+        dp.process_frame(raw, 1)
+        sim.run_for(0.01)
+
+    _time_loop(miss_and_setup, miss_hist, misses)
+    report["controller_miss"] = dict(miss_hist.fields())
+    setup_hist = registry.get("openflow.flow_setup_sim_seconds")
+    if setup_hist is not None:
+        report["flow_setup_sim_seconds"] = dict(setup_hist.fields())
+
+    # Ratio from means: percentiles are quantised to bucket bounds, so a
+    # p50/p50 ratio between adjacent buckets would be misleading.
+    cache_mean = cache_hist.sum / cache_hist.count if cache_hist.count else 0.0
+    miss_mean = miss_hist.sum / miss_hist.count if miss_hist.count else 0.0
+    report["miss_vs_cache_hit_ratio"] = (
+        round(miss_mean / cache_mean, 1) if cache_mean else None
+    )
+
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

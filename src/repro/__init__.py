@@ -27,6 +27,7 @@ from .core.config import RouterConfig
 from .core.errors import ReproError
 from .core.events import Event, EventBus
 from .core.router import HomeworkRouter
+from .obs import MetricsFlusher, MetricsRegistry
 from .sim.simulator import Simulator
 
 __version__ = "1.0.0"
@@ -37,6 +38,8 @@ __all__ = [
     "Simulator",
     "EventBus",
     "Event",
+    "MetricsFlusher",
+    "MetricsRegistry",
     "ReproError",
     "__version__",
 ]

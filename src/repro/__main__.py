@@ -5,6 +5,7 @@ Subcommands::
     python -m repro demo        # the full demo-day walk-through (default)
     python -m repro figures     # regenerate the four UI figures as text
     python -m repro stats       # run a household and dump router stats
+    python -m repro metrics     # run a household and pretty-print telemetry
 
 Each runs entirely in simulated time and prints what the paper's demo
 visitors would have seen.
@@ -132,6 +133,32 @@ def cmd_stats(seed: int) -> int:
     return 0
 
 
+def cmd_metrics(seed: int) -> int:
+    """Live telemetry snapshot: registry view + the hwdb Metrics table."""
+    sim, router, *_ = _build_household(seed)
+    sim.run_for(15.0)  # let a few flush intervals elapse
+
+    print("== telemetry registry (live snapshot) ==\n")
+    print(router.metrics.render_pretty())
+
+    print("\n== hwdb Metrics table (what subscribers see) ==\n")
+    client = router.hwdb_client()
+    result = client.query(
+        "SELECT name, field, value FROM metrics "
+        f"[RANGE {router.config.metrics_flush_interval} SECONDS] "
+        "WHERE field = 'value' OR field = 'p95' ORDER BY name LIMIT 20"
+    )
+    print(render_table(result))
+    table = router.db.table("metrics")
+    print(
+        f"\n{table.total_inserted} metric rows published over "
+        f"{router.metrics_flusher.flushes} flushes "
+        f"(every {router.config.metrics_flush_interval:g}s simulated); "
+        f"{len(table)} retained in the ring."
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -141,12 +168,17 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "figures", "stats"],
+        choices=["demo", "figures", "stats", "metrics"],
         help="which walk-through to run (default: demo)",
     )
     parser.add_argument("--seed", type=int, default=42, help="simulation seed")
     args = parser.parse_args(argv)
-    handlers = {"demo": cmd_demo, "figures": cmd_figures, "stats": cmd_stats}
+    handlers = {
+        "demo": cmd_demo,
+        "figures": cmd_figures,
+        "stats": cmd_stats,
+        "metrics": cmd_metrics,
+    }
     return handlers[args.command](args.seed)
 
 

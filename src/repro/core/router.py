@@ -29,6 +29,7 @@ from ..measurement.aggregator import BandwidthAggregator
 from ..measurement.collectors import FlowCollector, LeaseCollector, LinkCollector
 from ..net.addresses import IPv4Address, MACAddress
 from ..nox.controller import Controller
+from ..obs import MetricsFlusher, MetricsRegistry
 from ..openflow.channel import SecureChannel
 from ..openflow.datapath import Datapath
 from ..policy.engine import PolicyEngine
@@ -64,10 +65,14 @@ class HomeworkRouter:
         self.config = config or RouterConfig()
         self.bus = sim.bus
 
+        # --- telemetry (obs subsystem) ---------------------------------------
+        # Created first: every subsystem below reports into it.
+        self.metrics = MetricsRegistry()
+
         # --- datapath + secure channel + NOX --------------------------------
-        self.datapath = Datapath(sim, datapath_id=1, name="dp0")
+        self.datapath = Datapath(sim, datapath_id=1, name="dp0", registry=self.metrics)
         self.channel = SecureChannel(sim, latency=channel_latency)
-        self.controller = Controller(sim)
+        self.controller = Controller(sim, registry=self.metrics)
         self.channel.connect(self.datapath, self.controller.receive)
         self.controller.connect(self.channel)
 
@@ -84,11 +89,20 @@ class HomeworkRouter:
         self.cloud.gateway = router_upstream_ip
 
         # --- hwdb --------------------------------------------------------------
-        self.db = HomeworkDatabase(sim.clock, self.config.hwdb_buffer_rows)
+        self.db = HomeworkDatabase(
+            sim.clock, self.config.hwdb_buffer_rows, registry=self.metrics
+        )
         install_standard_schema(self.db)
         self.db.attach_scheduler(sim)
-        self.rpc_server = RpcServer(self.db)
+        self.rpc_server = RpcServer(self.db, registry=self.metrics)
         self.aggregator = BandwidthAggregator(self.db)
+
+        # Snapshots land in the hwdb Metrics table, queryable/subscribable
+        # like Flows; port gauges refresh lazily at each flush.
+        self.metrics_flusher = MetricsFlusher(
+            self.db, self.metrics, interval=self.config.metrics_flush_interval
+        )
+        self.metrics_flusher.add_collector(self._collect_port_gauges)
 
         # --- NOX components (paper's shaded boxes) ------------------------------
         self.dhcp: DhcpServer = self.controller.add_component(
@@ -204,6 +218,7 @@ class HomeworkRouter:
         self.datapath.start_expiry(interval=1.0)
         self.flow_collector.start()
         self.link_collector.start()
+        self.metrics_flusher.start(self.sim)
         self.policy_engine.start_scheduler(self.sim, interval=30.0)
 
     def stop(self) -> None:
@@ -212,7 +227,27 @@ class HomeworkRouter:
         self._started = False
         self.flow_collector.stop()
         self.link_collector.stop()
+        self.metrics_flusher.stop()
         self.policy_engine.stop_scheduler()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def _collect_port_gauges(self) -> None:
+        """Refresh per-port byte/packet gauges from the datapath.
+
+        Runs at metrics-flush time, not per packet: byte totals are
+        already accumulated on the ports, so a snapshot is pure reads.
+        """
+        for number, port in self.datapath.ports().items():
+            base = f"router.port.{number}"
+            self.metrics.gauge(f"{base}.rx_bytes").set(port.rx_bytes)
+            self.metrics.gauge(f"{base}.tx_bytes").set(port.tx_bytes)
+            self.metrics.gauge(f"{base}.rx_packets").set(port.rx_packets)
+            self.metrics.gauge(f"{base}.tx_packets").set(port.tx_packets)
+        self.metrics.gauge("openflow.cache_entries").set(self.datapath.cache_len())
+        self.metrics.gauge("openflow.flow_table_entries").set(len(self.datapath.table))
 
     # ------------------------------------------------------------------
     # Conveniences

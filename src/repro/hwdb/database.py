@@ -15,6 +15,7 @@ queries and continuous subscriptions.  The RPC front-end lives in
 from __future__ import annotations
 
 import logging
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.clock import Clock
@@ -96,7 +97,12 @@ class Subscription:
 class HomeworkDatabase:
     """hwdb: typed ring-buffer tables + CQL queries + subscriptions."""
 
-    def __init__(self, clock: Clock, default_capacity: int = 4096):
+    #: Latency sampling on the append path: time 1 insert in 16.  Keeps
+    #: registry overhead far below the 5% budget bench_t1 enforces while
+    #: still filling the histogram thousands of times per busy second.
+    INSERT_SAMPLE_MASK = 0xF
+
+    def __init__(self, clock: Clock, default_capacity: int = 4096, registry=None):
         self._clock = clock
         self.default_capacity = default_capacity
         self._tables: Dict[str, StreamTable] = {}
@@ -104,6 +110,21 @@ class HomeworkDatabase:
         self._scheduler = None  # set via attach_scheduler
         self.queries_executed = 0
         self.inserts = 0
+        self.set_registry(registry)
+
+    def set_registry(self, registry) -> None:
+        """Attach (or detach) a metrics registry; None means no telemetry."""
+        self._registry = registry
+        if registry is None:
+            self._m_inserts = None
+            self._m_queries = None
+            self._m_append = None
+            self._m_query_lat = None
+        else:
+            self._m_inserts = registry.counter("hwdb.insert_total")
+            self._m_queries = registry.counter("hwdb.query_total")
+            self._m_append = registry.histogram("hwdb.append_seconds")
+            self._m_query_lat = registry.histogram("hwdb.query_seconds")
 
     @property
     def now(self) -> float:
@@ -161,6 +182,19 @@ class HomeworkDatabase:
         """Insert one event, timestamped with the database clock."""
         table = self.table(table_name)
         self.inserts += 1
+        counter = self._m_inserts
+        if counter is not None:
+            # Inlined counter.inc(): this path runs per flow record, and
+            # the attribute add is measurably cheaper than a method call.
+            counter.value += 1
+            if self.inserts & self.INSERT_SAMPLE_MASK == 0:
+                t0 = perf_counter()
+                if isinstance(record, dict):
+                    table.insert_dict(self.now, record)
+                else:
+                    table.insert(self.now, list(record))
+                self._m_append.observe(perf_counter() - t0)
+                return
         if isinstance(record, dict):
             table.insert_dict(self.now, record)
         else:
@@ -178,6 +212,12 @@ class HomeworkDatabase:
     def execute_parsed(self, statement) -> ResultSet:
         self.queries_executed += 1
         if isinstance(statement, Select):
+            if self._m_queries is not None:
+                self._m_queries.inc()
+                t0 = perf_counter()
+                result = execute_select(statement, self._tables, self.now)
+                self._m_query_lat.observe(perf_counter() - t0)
+                return result
             return execute_select(statement, self._tables, self.now)
         if isinstance(statement, Insert):
             table = self.table(statement.table)

@@ -125,16 +125,24 @@ def unpack_resultset(text: str) -> ResultSet:
 class RpcServer:
     """Serves the hwdb RPC protocol over any datagram transport."""
 
-    def __init__(self, db: HomeworkDatabase):
+    def __init__(self, db: HomeworkDatabase, registry=None):
         self.db = db
         # subscription id -> (Subscription, reply function)
         self._subscribers: Dict[int, Tuple[Subscription, ReplyFn]] = {}
         self.requests_handled = 0
         self.pushes_sent = 0
+        if registry is None:
+            self._m_requests = None
+            self._m_pushes = None
+        else:
+            self._m_requests = registry.counter("rpc.request_total")
+            self._m_pushes = registry.counter("rpc.push_total")
 
     def handle_datagram(self, data: bytes, reply: ReplyFn) -> None:
         """Process one request datagram, replying via ``reply``."""
         self.requests_handled += 1
+        if self._m_requests is not None:
+            self._m_requests.inc()
         try:
             text = data.decode("utf-8")
         except UnicodeDecodeError:
@@ -196,6 +204,8 @@ class RpcServer:
             if entry is None:
                 return
             self.pushes_sent += 1
+            if self._m_pushes is not None:
+                self._m_pushes.inc()
             payload = f"PUSH {sub_id}\n" + pack_resultset(result)
             entry[1](payload.encode("utf-8"))
 

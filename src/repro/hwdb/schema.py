@@ -49,11 +49,22 @@ DNS_SCHEMA = [
     ("allowed", "boolean"),
 ]
 
+#: Telemetry snapshots published by the metrics flusher (obs subsystem).
+#: One row per instrument field: a counter contributes one ``value`` row,
+#: a histogram contributes count/sum/min/max/p50/p95/p99 rows.
+METRICS_SCHEMA = [
+    ("name", "varchar"),   # dotted instrument name, e.g. hwdb.append_seconds
+    ("kind", "varchar"),   # counter | gauge | histogram
+    ("field", "varchar"),  # value | count | sum | min | max | p50 | p95 | p99
+    ("value", "real"),
+]
+
 STANDARD_TABLES = {
     "flows": FLOWS_SCHEMA,
     "links": LINKS_SCHEMA,
     "leases": LEASES_SCHEMA,
     "dns": DNS_SCHEMA,
+    "metrics": METRICS_SCHEMA,
 }
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..core.errors import HwdbError
 from ..hwdb.database import HomeworkDatabase
 from ..net.addresses import MACAddress
 from .protocols import classify
@@ -46,18 +47,46 @@ class DeviceUsage:
 
 
 class BandwidthAggregator:
-    """Computes the per-device / per-protocol views from hwdb."""
+    """Computes the per-device / per-protocol views from hwdb.
+
+    The UIs poll these views every refresh tick, usually faster than new
+    rows arrive.  Both the lease→device map and the full ``per_device``
+    result are therefore memoized against table *generations* (each
+    ``StreamTable.total_inserted`` counts every row ever written, so it
+    is a perfect change detector): identical requests against an
+    unchanged database are served from cache without re-running CQL.
+    """
 
     def __init__(self, db: HomeworkDatabase):
         self.db = db
+        self._device_map_cache: Optional[Tuple[int, Dict[str, Tuple[str, str]]]] = None
+        self._per_device_cache: Dict[
+            float, Tuple[Tuple[int, int, float], List[DeviceUsage]]
+        ] = {}
+
+    def _generation(self, name: str) -> int:
+        """Rows ever inserted into ``name`` (-1 when the table is absent)."""
+        try:
+            return self.db.table(name).total_inserted
+        except HwdbError:
+            return -1
 
     def _device_map(self) -> Dict[str, Tuple[str, str]]:
-        """ip → (mac, hostname) from the latest lease grants."""
+        """ip → (mac, hostname) from the latest lease grants.
+
+        Cached against the leases-table generation: lease churn is rare
+        (seconds to hours apart) while the UIs ask many times a second.
+        """
+        generation = self._generation("leases")
+        if self._device_map_cache is not None and self._device_map_cache[0] == generation:
+            return self._device_map_cache[1]
         result = self.db.query(
             "SELECT ip, last(mac) AS mac, last(hostname) AS hostname FROM leases "
             "WHERE action = 'granted' OR action = 'renewed' GROUP BY ip"
         )
-        return {row[0]: (row[1], row[2] or "") for row in result.rows}
+        device_map = {row[0]: (row[1], row[2] or "") for row in result.rows}
+        self._device_map_cache = (generation, device_map)
+        return device_map
 
     def per_device(self, window: float) -> List[DeviceUsage]:
         """Per-device usage over the trailing ``window`` seconds.
@@ -65,7 +94,16 @@ class BandwidthAggregator:
         The left-hand side of Figure 1: bandwidth consumption per
         machine, heaviest first.  Flows touching no leased device (e.g.
         router-to-upstream control traffic) are ignored.
+
+        Results are cached per window: a repeat call with no new flow or
+        lease rows and an unchanged clock returns the same list again
+        (a fresh list, but the same DeviceUsage objects) without
+        touching hwdb.
         """
+        key = (self._generation("flows"), self._generation("leases"), self.db.now)
+        cached = self._per_device_cache.get(window)
+        if cached is not None and cached[0] == key:
+            return list(cached[1])
         device_map = self._device_map()
         result = self.db.query(
             f"SELECT src_ip, dst_ip, proto, src_port, dst_port, bytes, packets "
@@ -96,7 +134,9 @@ class BandwidthAggregator:
                 down.bytes_down += nbytes
                 down.packets += packets
                 down.by_protocol[protocol] = down.by_protocol.get(protocol, 0) + nbytes
-        return sorted(devices.values(), key=lambda u: u.bytes, reverse=True)
+        ranked = sorted(devices.values(), key=lambda u: u.bytes, reverse=True)
+        self._per_device_cache[window] = (key, ranked)
+        return list(ranked)
 
     def per_protocol(
         self, device: Union[str, MACAddress], window: float

@@ -9,6 +9,7 @@ and transport, which is exactly what we reproduce (e.g. everything on
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from ..net.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP
@@ -42,12 +43,15 @@ WELL_KNOWN: Dict[Tuple[int, int], Tuple[str, str]] = {
 TRANSPORT_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
 
 
+@lru_cache(maxsize=4096)
 def classify(proto: int, src_port: int, dst_port: int) -> Tuple[str, str]:
     """Classify a five-tuple into (protocol, application).
 
     The server side of a flow is guessed as the lower well-known port,
     checking both directions — the standard heuristic, imperfect as the
-    paper admits.
+    paper admits.  Memoized: a household sees the same (proto, sport,
+    dport) triples over and over, so repeat classifications skip the
+    sorted-probe entirely.
     """
     if proto == PROTO_ICMP:
         return ("icmp", "infrastructure")

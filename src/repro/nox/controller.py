@@ -10,6 +10,7 @@ API components use: flow-mod installation, packet-out, stats requests.
 from __future__ import annotations
 
 import logging
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
 
 from ..core.errors import ControllerError
@@ -76,7 +77,7 @@ class Controller:
     like topology discovery are out of the paper's scope.)
     """
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator", registry=None):
         self.sim = sim
         self.channel: Optional[SecureChannel] = None
         self.datapath_id: Optional[int] = None
@@ -89,6 +90,18 @@ class Controller:
         self.packet_ins_handled = 0
         self.flow_mods_sent = 0
         self.packet_outs_sent = 0
+
+        self.registry = registry
+        if registry is None:
+            self._m_packet_ins = None
+            self._m_flow_mods = None
+            self._m_packet_outs = None
+            self._m_handle_lat = None
+        else:
+            self._m_packet_ins = registry.counter("openflow.packet_in_total")
+            self._m_flow_mods = registry.counter("openflow.flow_mod_total")
+            self._m_packet_outs = registry.counter("openflow.packet_out_total")
+            self._m_handle_lat = registry.histogram("openflow.packet_in_handle_seconds")
 
     # ------------------------------------------------------------------
     # Component management
@@ -168,7 +181,13 @@ class Controller:
             self.dispatch(EV_DATAPATH_JOIN, msg)
         elif isinstance(msg, PacketIn):
             self.packet_ins_handled += 1
-            self.dispatch(EV_PACKET_IN, msg)
+            if self._m_packet_ins is not None:
+                self._m_packet_ins.inc()
+                t0 = perf_counter()
+                self.dispatch(EV_PACKET_IN, msg)
+                self._m_handle_lat.observe(perf_counter() - t0)
+            else:
+                self.dispatch(EV_PACKET_IN, msg)
         elif isinstance(msg, FlowRemoved):
             self.dispatch(EV_FLOW_REMOVED, msg)
         elif isinstance(msg, PortStatus):
@@ -205,6 +224,8 @@ class Controller:
     ) -> None:
         """Add a rule to the datapath (the paper's basic control verb)."""
         self.flow_mods_sent += 1
+        if self._m_flow_mods is not None:
+            self._m_flow_mods.inc()
         self.send(
             FlowMod.add(
                 match,
@@ -220,6 +241,8 @@ class Controller:
 
     def remove_flows(self, match: Match, strict: bool = False, priority: int = DEFAULT_PRIORITY) -> None:
         self.flow_mods_sent += 1
+        if self._m_flow_mods is not None:
+            self._m_flow_mods.inc()
         self.send(FlowMod.delete(match, strict=strict, priority=priority))
 
     def send_packet(
@@ -228,6 +251,8 @@ class Controller:
     ) -> None:
         """Packet-out: inject ``data`` (or a buffered packet) with actions."""
         self.packet_outs_sent += 1
+        if self._m_packet_outs is not None:
+            self._m_packet_outs.inc()
         self.send(
             PacketOut(actions=actions, data=data, buffer_id=buffer_id, in_port=in_port)
         )

@@ -1,0 +1,30 @@
+"""obs — the router-wide telemetry subsystem.
+
+Counters, gauges and fixed-bucket latency histograms in a
+:class:`MetricsRegistry`; tracing spans with parent/child nesting; and a
+:class:`MetricsFlusher` that dogfoods export by publishing snapshots
+into the hwdb ``Metrics`` stream table.  See DESIGN.md §8.
+"""
+
+from .flush import METRICS_TABLE, MetricsFlusher
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    Span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS_TABLE",
+    "MetricsFlusher",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+]

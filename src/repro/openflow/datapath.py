@@ -101,6 +101,7 @@ class Datapath:
         name: str = "dp0",
         cache_size: int = 8192,
         enable_cache: bool = True,
+        registry=None,
     ):
         self.sim = sim
         self.datapath_id = datapath_id
@@ -131,6 +132,15 @@ class Datapath:
         self.packets_processed = 0
         self.packet_ins_sent = 0
         self.flow_mods_received = 0
+
+        # Telemetry: punt time per buffered packet-in, so the flow-mod
+        # that answers it yields the packet_in→flow_mod round trip in
+        # simulated seconds (secure-channel latency both ways + NOX).
+        self._punt_times: Dict[int, float] = {}
+        if registry is None:
+            self._m_flow_setup = None
+        else:
+            self._m_flow_setup = registry.histogram("openflow.flow_setup_sim_seconds")
 
         self._expiry_timer = None
 
@@ -237,6 +247,9 @@ class Datapath:
                 return
             self._invalidate_cache_for(entry)
             if mod.buffer_id != NO_BUFFER:
+                punted_at = self._punt_times.pop(mod.buffer_id, None)
+                if punted_at is not None and self._m_flow_setup is not None:
+                    self._m_flow_setup.observe(self.sim.now - punted_at)
                 self._release_buffer(mod.buffer_id, entry.actions, entry)
         elif mod.command in (FC_MODIFY, FC_MODIFY_STRICT):
             self.table.modify(
@@ -265,6 +278,7 @@ class Datapath:
     def _handle_packet_out(self, msg: PacketOut) -> None:
         data = msg.data
         if msg.buffer_id != NO_BUFFER:
+            self._punt_times.pop(msg.buffer_id, None)
             buffered = self._buffers.pop(msg.buffer_id, None)
             if buffered is None:
                 self._reply(ErrorMessage("bad_buffer", str(msg.buffer_id)))
@@ -362,6 +376,8 @@ class Datapath:
         if self.channel is None:
             return
         buffer_id = self._buffer_packet(raw, in_port)
+        if self._m_flow_setup is not None:
+            self._punt_times[buffer_id] = self.sim.now
         self.packet_ins_sent += 1
         self.channel.to_controller(
             PacketIn(
@@ -376,6 +392,7 @@ class Datapath:
         if len(self._buffers) >= self.max_buffers:
             oldest = next(iter(self._buffers))
             del self._buffers[oldest]
+            self._punt_times.pop(oldest, None)
         buffer_id = self._next_buffer_id
         self._next_buffer_id += 1
         self._buffers[buffer_id] = (raw, in_port)

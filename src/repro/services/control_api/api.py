@@ -41,7 +41,7 @@ from ...nox.component import Component
 from ...policy.engine import PolicyEngine
 from ...policy.model import Policy
 from .http import HttpError, HttpRequest, HttpResponse, error_response, json_response
-from .rest import RestRouter
+from .rest import RestRouter, add_metrics_route
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...hwdb.database import HomeworkDatabase
@@ -76,6 +76,7 @@ class ControlApi(Component):
         self.policy_engine = policy_engine
         self.router_core = router_core
         self.hwdb = hwdb
+        self.registry = getattr(controller, "registry", None)
         self.router = RestRouter()
         self.requests_served = 0
         self._register_routes()
@@ -137,6 +138,7 @@ class ControlApi(Component):
         r.add("POST", "/usb/insert", self._usb_insert)
         r.add("POST", "/usb/remove", self._usb_remove)
         r.add("GET", "/dns/rules", self._dns_rules)
+        add_metrics_route(r, self.registry)
 
     # -- status / devices -------------------------------------------------
 

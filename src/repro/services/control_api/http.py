@@ -178,5 +178,12 @@ def json_response(data, status: int = 200) -> HttpResponse:
     )
 
 
+def text_response(text: str, status: int = 200) -> HttpResponse:
+    """Plain-text response (metrics exposition, health probes)."""
+    return HttpResponse(
+        status, text.encode("utf-8"), content_type="text/plain; charset=utf-8"
+    )
+
+
 def error_response(status: int, message: str) -> HttpResponse:
     return json_response({"error": message, "status": status}, status)

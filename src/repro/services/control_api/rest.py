@@ -6,11 +6,27 @@ import logging
 import re
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .http import HttpError, HttpRequest, HttpResponse, error_response
+from .http import HttpError, HttpRequest, HttpResponse, error_response, text_response
 
 logger = logging.getLogger(__name__)
 
 Handler = Callable[..., HttpResponse]
+
+
+def add_metrics_route(router: "RestRouter", registry) -> None:
+    """Mount ``GET /metrics`` serving ``registry`` in text exposition format.
+
+    Scrapers poll this endpoint the way Prometheus would; the same
+    snapshot is what the flusher periodically publishes into the hwdb
+    ``Metrics`` table.
+    """
+
+    def metrics_handler(request: HttpRequest) -> HttpResponse:
+        if registry is None:
+            raise HttpError(404, "metrics registry not attached")
+        return text_response(registry.render_text())
+
+    router.add("GET", "/metrics", metrics_handler)
 
 
 def _compile_template(template: str) -> re.Pattern:

@@ -79,6 +79,22 @@ class DhcpServer(Component):
         self.naks = 0
         self.withheld = 0
 
+        # Telemetry: DISCOVER timestamps per client, so the ACK that
+        # completes the handshake yields DISCOVER→ACK latency in
+        # simulated seconds (controller round trips + client retries).
+        self._discover_at = {}
+        registry = getattr(controller, "registry", None)
+        if registry is None:
+            self._m_discovers = None
+            self._m_acks = None
+            self._m_naks = None
+            self._m_handshake = None
+        else:
+            self._m_discovers = registry.counter("dhcp.discover_total")
+            self._m_acks = registry.counter("dhcp.ack_total")
+            self._m_naks = registry.counter("dhcp.nak_total")
+            self._m_handshake = registry.histogram("dhcp.discover_to_ack_sim_seconds")
+
         self._expiry_timer = None
 
     def install(self) -> None:
@@ -124,6 +140,9 @@ class DhcpServer(Component):
         record = self.policy.observe(mac, self.now, hostname)
         if mtype == DHCPDISCOVER:
             self.discovers += 1
+            if self._m_discovers is not None:
+                self._m_discovers.inc()
+                self._discover_at[mac] = self.now
             self._on_discover(request, record, in_port)
         elif mtype == DHCPREQUEST:
             self._on_request(request, record, in_port)
@@ -190,6 +209,11 @@ class DhcpServer(Component):
         was_bound = lease.state == STATE_BOUND
         self.leases.bind(mac, self.now, self.config.lease_time)
         self.acks += 1
+        if self._m_acks is not None:
+            self._m_acks.inc()
+            discovered_at = self._discover_at.pop(mac, None)
+            if discovered_at is not None:
+                self._m_handshake.observe(self.now - discovered_at)
         reply = request.reply(DHCPACK, yiaddr=lease.ip, server_id=self.server_id)
         self._fill_options(reply, lease, request)
         self._send_reply(reply, in_port)
@@ -214,6 +238,9 @@ class DhcpServer(Component):
 
     def _nak(self, request: DHCPMessage, in_port: int) -> None:
         self.naks += 1
+        if self._m_naks is not None:
+            self._m_naks.inc()
+            self._discover_at.pop(request.chaddr, None)
         reply = request.reply(DHCPNAK, yiaddr="0.0.0.0", server_id=self.server_id)
         self._send_reply(reply, in_port)
         self.bus.emit(

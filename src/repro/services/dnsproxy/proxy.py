@@ -82,6 +82,20 @@ class DnsProxy(Component):
         self.flow_checks = 0
         self.flow_blocks = 0
 
+        registry = getattr(controller, "registry", None)
+        if registry is None:
+            self._m_queries = None
+            self._m_cache_hits = None
+            self._m_cache_misses = None
+            self._m_blocked = None
+            self._m_upstream_lat = None
+        else:
+            self._m_queries = registry.counter("dnsproxy.query_total")
+            self._m_cache_hits = registry.counter("dnsproxy.cache_hit_total")
+            self._m_cache_misses = registry.counter("dnsproxy.cache_miss_total")
+            self._m_blocked = registry.counter("dnsproxy.blocked_total")
+            self._m_upstream_lat = registry.histogram("dnsproxy.upstream_sim_seconds")
+
     def install(self) -> None:
         # Priority 50: after DHCP (10), before routing (100).
         self.register_handler(EV_PACKET_IN, self.handle_packet_in, priority=50)
@@ -109,6 +123,8 @@ class DnsProxy(Component):
         if query.is_response or not query.questions:
             return STOP
         self.queries_seen += 1
+        if self._m_queries is not None:
+            self._m_queries.inc()
         self._answer(query, frame, ip, udp, msg.in_port)
         return STOP
 
@@ -127,6 +143,8 @@ class DnsProxy(Component):
 
         if not self.filter.permits(device_mac, name):
             self.queries_blocked += 1
+            if self._m_blocked is not None:
+                self._m_blocked.inc()
             self.nxdomain_answers += 1
             self._emit(device_ip, name, None, allowed=False)
             self._reply(query.respond(rcode=RCODE_NXDOMAIN), frame, ip, udp, in_port)
@@ -139,10 +157,18 @@ class DnsProxy(Component):
         cached = self.cache.get(name, self.now)
         if cached is not None:
             self.cache_answers += 1
+            if self._m_cache_hits is not None:
+                self._m_cache_hits.inc()
             self._finish(query, frame, ip, udp, in_port, name, cached)
             return
 
+        if self._m_cache_misses is not None:
+            self._m_cache_misses.inc()
+        asked_at = self.now
+
         def resolved(address: Optional[IPv4Address]) -> None:
+            if self._m_upstream_lat is not None:
+                self._m_upstream_lat.observe(self.now - asked_at)
             if address is None:
                 self.nxdomain_answers += 1
                 self._emit(device_ip, name, None, allowed=True)

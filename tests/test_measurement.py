@@ -151,3 +151,58 @@ class TestAggregator:
         assert router.aggregator.total_bytes(10.0) == 0
         assert router.aggregator.utilisation() == 0.0
         assert router.aggregator.peak_rate() == 0.0
+
+
+class TestAggregatorMemoization:
+    """The UIs poll faster than data changes; repeat calls must be free."""
+
+    def test_repeat_per_device_runs_no_queries(self, traffic_env):
+        sim, router, laptop, _tv = traffic_env
+        web = WebBrowsing(laptop)
+        web.start(0.1)
+        sim.run_for(10.0)
+        aggregator = router.aggregator
+        first = aggregator.per_device(10.0)
+        queries_before = router.db.queries_executed
+        second = aggregator.per_device(10.0)
+        assert router.db.queries_executed == queries_before
+        assert [u.mac for u in second] == [u.mac for u in first]
+
+    def test_cached_result_is_a_fresh_list(self, traffic_env):
+        sim, router, laptop, _tv = traffic_env
+        WebBrowsing(laptop).start(0.1)
+        sim.run_for(10.0)
+        first = router.aggregator.per_device(10.0)
+        first.clear()  # a caller mutating its copy must not poison the cache
+        assert router.aggregator.per_device(10.0)
+
+    def test_new_rows_invalidate_cache(self, traffic_env):
+        sim, router, laptop, _tv = traffic_env
+        web = WebBrowsing(laptop)
+        web.start(0.1)
+        sim.run_for(10.0)
+        stale = router.aggregator.per_device(10.0)
+        sim.run_for(10.0)  # more traffic -> new flow rows + clock change
+        queries_before = router.db.queries_executed
+        fresh = router.aggregator.per_device(10.0)
+        assert router.db.queries_executed > queries_before
+        assert sum(u.bytes for u in fresh) != sum(u.bytes for u in stale)
+
+    def test_device_map_cached_until_lease_churn(self, traffic_env):
+        sim, router, _laptop, _tv = traffic_env
+        aggregator = router.aggregator
+        aggregator._device_map()
+        queries_before = router.db.queries_executed
+        aggregator._device_map()
+        assert router.db.queries_executed == queries_before
+        phone = join_device(router, "phone", "02:aa:00:00:00:05")
+        assert any(
+            mac == str(phone.mac) for mac, _h in aggregator._device_map().values()
+        )
+
+    def test_classify_is_memoized(self):
+        classify.cache_clear()
+        classify(PROTO_TCP, 50000, 443)
+        hits_before = classify.cache_info().hits
+        classify(PROTO_TCP, 50000, 443)
+        assert classify.cache_info().hits == hits_before + 1

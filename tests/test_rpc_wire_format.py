@@ -1,0 +1,164 @@
+"""RPC wire-format edge cases.
+
+The hwdb RPC rides a line-oriented text protocol: rows are
+newline-separated, values tab-separated, with ``\\t``/``\\n``/``\\r``/
+``\\\\`` escapes and a bare ``\\N`` token for SQL null.  These tests pin
+the corners: delimiter characters inside values, a *literal* backslash-N
+string (which must not collapse into null), and the same payloads
+surviving the PUSH path through the UDP gateway.
+"""
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.core.clock import SimulatedClock
+from repro.core.errors import RpcError
+from repro.hwdb.cql.executor import ResultSet
+from repro.hwdb.database import HomeworkDatabase
+from repro.hwdb.rpc import (
+    HwdbClient,
+    LocalTransport,
+    RpcServer,
+    _escape,
+    _unescape,
+    pack_resultset,
+    unpack_resultset,
+)
+from repro.hwdb.udp_gateway import RemoteHwdbClient
+
+from tests.conftest import join_device
+
+NASTY_STRINGS = [
+    "plain",
+    "tab\there",
+    "line\nbreak",
+    "carriage\rreturn",
+    "back\\slash",
+    "\\N",  # literal backslash-N, NOT the null marker
+    "trailing\\",
+    "\t\n\r\\",
+    "",
+]
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("text", NASTY_STRINGS)
+    def test_escape_round_trip(self, text):
+        assert _unescape(_escape(text)) == text
+
+    def test_escaped_text_has_no_raw_delimiters(self):
+        for text in NASTY_STRINGS:
+            escaped = _escape(text)
+            assert "\t" not in escaped
+            assert "\n" not in escaped
+
+    def test_literal_backslash_n_is_not_null(self):
+        # The string "\N" escapes its backslash, so the decoder sees
+        # "s:\\N" — distinct from the untagged null token "\N".
+        assert _escape("\\N") == "\\\\N"
+
+
+class TestResultSetRoundTrip:
+    def test_all_value_types(self):
+        original = ResultSet(
+            ["n", "f", "flag", "text", "nothing"],
+            [
+                (7, 2.5, True, "tab\there", None),
+                (-3, -0.125, False, "\\N", None),
+                (0, 1e9, True, "", "present"),
+            ],
+        )
+        decoded = unpack_resultset(pack_resultset(original))
+        assert decoded.columns == original.columns
+        assert decoded.rows == original.rows
+
+    @pytest.mark.parametrize("text", NASTY_STRINGS)
+    def test_nasty_string_values(self, text):
+        original = ResultSet(["v"], [(text,)])
+        decoded = unpack_resultset(pack_resultset(original))
+        assert decoded.rows == [(text,)]
+
+    def test_column_names_with_delimiters(self):
+        original = ResultSet(["a\tb", "c\nd"], [("x", "y")])
+        decoded = unpack_resultset(pack_resultset(original))
+        assert decoded.columns == ["a\tb", "c\nd"]
+
+    def test_empty_resultset(self):
+        decoded = unpack_resultset(pack_resultset(ResultSet([], [])))
+        assert decoded.columns == []
+        assert decoded.rows == []
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(RpcError):
+            unpack_resultset("v\nnot-a-tagged-token")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(RpcError):
+            unpack_resultset("v\nz:wat")
+
+
+def _notes_db():
+    db = HomeworkDatabase(SimulatedClock())
+    db.create_table("notes", [("note", "varchar")], 64)
+    return db
+
+
+class TestQueryPath:
+    def test_nasty_values_survive_query_rpc(self):
+        db = _notes_db()
+        for text in NASTY_STRINGS:
+            if text:  # empty string vs missing row is a separate case
+                db.insert("notes", [text])
+        client = HwdbClient(LocalTransport(RpcServer(db)))
+        result = client.query("SELECT note FROM notes")
+        assert [row[0] for row in result.rows] == [t for t in NASTY_STRINGS if t]
+
+    def test_null_aggregate_survives_query_rpc(self):
+        db = HomeworkDatabase(SimulatedClock())
+        db.create_table("flows", [("bytes", "integer")], 64)
+        client = HwdbClient(LocalTransport(RpcServer(db)))
+        result = client.query("SELECT min(bytes) FROM flows")
+        assert result.rows[0][0] is None
+
+
+class TestPushPath:
+    def test_nasty_values_survive_local_push(self):
+        sim = Simulator(seed=5)
+        db = HomeworkDatabase(sim.clock)
+        db.attach_scheduler(sim)
+        db.create_table("notes", [("note", "varchar")], 64)
+        client = HwdbClient(LocalTransport(RpcServer(db)))
+        pushed = []
+        client.subscribe(
+            "SELECT note FROM notes [RANGE 1 SECONDS]", 1.0, pushed.append
+        )
+        for text in NASTY_STRINGS:
+            if text:
+                db.insert("notes", [text])
+        sim.run_for(1.5)
+        assert pushed, "subscription never fired"
+        values = [row[0] for result in pushed for row in result.rows]
+        assert set(values) >= {t for t in NASTY_STRINGS if t}
+
+    def test_nasty_values_survive_udp_gateway_push(self):
+        """The genuine wire: PUSH datagrams routed through the datapath."""
+        sim = Simulator(seed=6)
+        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+        router.start()
+        gateway_ip = router.enable_rpc_gateway()
+        router.db.create_table("notes", [("note", "varchar")], 64)
+        station = join_device(router, "station", "02:aa:00:00:00:07")
+        client = RemoteHwdbClient(station, gateway_ip)
+
+        pushed = []
+        client.subscribe(
+            "SELECT note FROM notes [RANGE 2 SECONDS]", 1.0, pushed.append
+        )
+        sim.run_for(0.5)  # let SUBSCRIBED come back
+        for text in NASTY_STRINGS:
+            if text:
+                router.db.insert("notes", [text])
+        sim.run_for(2.0)
+        assert pushed, "no PUSH datagrams arrived"
+        values = [row[0] for result in pushed for row in result.rows]
+        assert set(values) >= {t for t in NASTY_STRINGS if t}

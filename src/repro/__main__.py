@@ -6,15 +6,19 @@ Subcommands::
     python -m repro figures     # regenerate the four UI figures as text
     python -m repro stats       # run a household and dump router stats
     python -m repro metrics     # run a household and pretty-print telemetry
+    python -m repro lint        # repro-lint: repo-specific static analysis
 
-Each runs entirely in simulated time and prints what the paper's demo
-visitors would have seen.
+Each demo runs entirely in simulated time and shows what the paper's
+demo visitors would have seen.  All CLI output flows through ``logging``
+(the library never calls ``print()`` — repro-lint enforces that);
+``--verbose`` raises the level to DEBUG and turns on source prefixes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
 from . import HomeworkRouter, RouterConfig, Simulator
@@ -25,6 +29,47 @@ from .ui.bandwidth_view import BandwidthView
 from .ui.control_ui import ControlInterface
 from .ui.policy_ui import PolicyInterface
 from .services.udev.usbkey import UsbKey
+
+logger = logging.getLogger("repro.cli")
+
+#: CLI output = the logger's INFO stream. One name so every demo below
+#: reads naturally while staying print()-free.
+say = logger.info
+
+
+class _StdoutHandler(logging.StreamHandler):
+    """A StreamHandler that always writes to the *current* sys.stdout.
+
+    Capturing harnesses (pytest's capsys) swap sys.stdout per test; a
+    handler holding the stream it was created with would keep writing to
+    a dead buffer.  Resolving the stream at emit time keeps "configure
+    logging once" true even under capture.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(stream=sys.stdout)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:  # the base __init__ assigns; ignore it
+        pass
+
+
+def configure_logging(verbose: bool = False) -> None:
+    """Configure the ``repro`` logging tree exactly once per process."""
+    root = logging.getLogger("repro")
+    if not any(isinstance(h, _StdoutHandler) for h in root.handlers):
+        root.addHandler(_StdoutHandler())
+        root.propagate = False
+    for handler in root.handlers:
+        if isinstance(handler, _StdoutHandler):
+            handler.setFormatter(
+                logging.Formatter("%(name)s %(levelname)s %(message)s" if verbose else "%(message)s")
+            )
+    root.setLevel(logging.DEBUG if verbose else logging.INFO)
 
 
 def _build_household(seed: int):
@@ -49,24 +94,24 @@ def _build_household(seed: int):
 
 
 def cmd_demo(seed: int) -> int:
-    print("== Homework router demo (SIGCOMM 2011 reproduction) ==\n")
+    say("== Homework router demo (SIGCOMM 2011 reproduction) ==\n")
     sim, router, laptop, tv, ipad = _build_household(seed)
 
-    print("-- Figure 1: the handheld bandwidth display --")
+    say("-- Figure 1: the handheld bandwidth display --")
     view = BandwidthView(router.aggregator, sim, window=30.0)
     view.refresh()
-    print(view.render())
+    say(view.render())
 
-    print("\n-- Figure 2: the network artifact --")
+    say("\n-- Figure 2: the network artifact --")
     artifact = NetworkArtifact(
         sim, router.bus, router.aggregator, radio=router.radio, db=router.db
     )
     for mode, label in ((MODE_SIGNAL, "signal"), (MODE_BANDWIDTH, "bandwidth")):
         artifact.set_mode(mode)
         artifact.tick()
-        print(f"  mode {mode} ({label}): {artifact.strip.render()}")
+        say("  mode %s (%s): %s", mode, label, artifact.strip.render())
 
-    print("\n-- Figure 3: a new device knocks --")
+    say("\n-- Figure 3: a new device knocks --")
     control = ControlInterface(router.control_api, router.bus)
     guest = router.add_device("guest-phone", "02:aa:00:00:00:09")
     # Guests wait for a human even on a default-permit router: deny-first.
@@ -74,32 +119,32 @@ def cmd_demo(seed: int) -> int:
     guest.start_dhcp(retry_interval=1.0)
     sim.run_for(1.5)
     control.refresh()
-    print(control.render())
+    say(control.render())
     control.drag(guest.mac, "permitted")
     sim.run_for(3.0)
-    print(f"  after the drag: guest-phone leased {guest.ip}")
+    say("  after the drag: guest-phone leased %s", guest.ip)
 
-    print("\n-- Figure 4: the house rule --")
+    say("\n-- Figure 4: the house rule --")
     policy_ui = PolicyInterface(router.control_api, router.udev)
     strip = policy_ui.new_strip("kids: facebook only")
     strip.panel_who(ipad.mac)
     strip.panel_what("only_these_sites", ["facebook.com"])
     strip.panel_unless("usb_key", "parent-key")
-    print("  " + policy_ui.preview())
+    say("  %s", policy_ui.preview())
     policy_ui.publish()
     outcome = []
     ipad.resolve("www.youtube.com", lambda ip, rc: outcome.append(ip))
     sim.run_for(1.0)
-    print(f"  iPad resolves youtube: {'BLOCKED' if outcome[0] is None else outcome[0]}")
+    say("  iPad resolves youtube: %s", "BLOCKED" if outcome[0] is None else outcome[0])
     router.udev.insert(UsbKey.unlock_key("parent-key"))
     ipad.dns_cache.clear()
     outcome2 = []
     ipad.resolve("www.youtube.com", lambda ip, rc: outcome2.append(ip))
     sim.run_for(1.0)
-    print(f"  with the parent key inserted: {outcome2[0]}")
+    say("  with the parent key inserted: %s", outcome2[0])
 
-    print("\n-- hwdb: the measurement plane --")
-    print(render_table(router.db.query(
+    say("\n-- hwdb: the measurement plane --")
+    say(render_table(router.db.query(
         "SELECT src_mac, sum(bytes) AS bytes FROM flows [RANGE 30 SECONDS] "
         "GROUP BY src_mac ORDER BY bytes DESC LIMIT 5"
     )))
@@ -110,26 +155,26 @@ def cmd_figures(seed: int) -> int:
     sim, router, laptop, _tv, _ipad = _build_household(seed)
     view = BandwidthView(router.aggregator, sim, window=30.0)
     view.refresh()
-    print(view.render())
+    say(view.render())
     view.select_device(laptop.mac)
-    print(view.render())
+    say(view.render())
     artifact = NetworkArtifact(
         sim, router.bus, router.aggregator, radio=router.radio, db=router.db
     )
     for mode in (MODE_SIGNAL, MODE_BANDWIDTH, MODE_EVENTS):
         artifact.set_mode(mode)
         artifact.tick()
-        print(artifact.render())
+        say(artifact.render())
     control = ControlInterface(router.control_api, router.bus)
     control.refresh()
-    print(control.render())
-    print(PolicyInterface(router.control_api, router.udev).render())
+    say(control.render())
+    say(PolicyInterface(router.control_api, router.udev).render())
     return 0
 
 
 def cmd_stats(seed: int) -> int:
     _sim, router, *_ = _build_household(seed)
-    print(json.dumps(router.stats(), indent=2, default=str))
+    say(json.dumps(router.stats(), indent=2, default=str))
     return 0
 
 
@@ -138,28 +183,37 @@ def cmd_metrics(seed: int) -> int:
     sim, router, *_ = _build_household(seed)
     sim.run_for(15.0)  # let a few flush intervals elapse
 
-    print("== telemetry registry (live snapshot) ==\n")
-    print(router.metrics.render_pretty())
+    say("== telemetry registry (live snapshot) ==\n")
+    say(router.metrics.render_pretty())
 
-    print("\n== hwdb Metrics table (what subscribers see) ==\n")
+    say("\n== hwdb Metrics table (what subscribers see) ==\n")
     client = router.hwdb_client()
     result = client.query(
         "SELECT name, field, value FROM metrics "
         f"[RANGE {router.config.metrics_flush_interval} SECONDS] "
         "WHERE field = 'value' OR field = 'p95' ORDER BY name LIMIT 20"
     )
-    print(render_table(result))
+    say(render_table(result))
     table = router.db.table("metrics")
-    print(
-        f"\n{table.total_inserted} metric rows published over "
-        f"{router.metrics_flusher.flushes} flushes "
-        f"(every {router.config.metrics_flush_interval:g}s simulated); "
-        f"{len(table)} retained in the ring."
+    say(
+        "\n%d metric rows published over %d flushes (every %gs simulated); "
+        "%d retained in the ring.",
+        table.total_inserted,
+        router.metrics_flusher.flushes,
+        router.config.metrics_flush_interval,
+        len(table),
     )
     return 0
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # The linter owns its own argument set; hand everything through.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Homework home router reproduction — guided demos",
@@ -168,11 +222,18 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "figures", "stats", "metrics"],
+        choices=["demo", "figures", "stats", "metrics", "lint"],
         help="which walk-through to run (default: demo)",
     )
     parser.add_argument("--seed", type=int, default=42, help="simulation seed")
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="DEBUG-level logging with source prefixes",
+    )
     args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose)
     handlers = {
         "demo": cmd_demo,
         "figures": cmd_figures,

@@ -1,0 +1,33 @@
+"""repro-lint: repo-specific static analysis for the Homework reproduction.
+
+The reproduction has architectural contracts that generic linters cannot
+see: the layer DAG (``net`` never imports ``sim``), the determinism rule
+(all time flows through the injected clock), the parser-safety idiom in
+:mod:`repro.net` (bounds-check before you slice), exception and logging
+hygiene, and the telemetry naming conventions from the ``repro.obs``
+registry.  This package turns those conventions into machine-checked
+rules over the AST — pure stdlib, no third-party dependencies.
+
+Run it as ``python -m repro lint`` (see :mod:`repro.analysis.cli`);
+suppress a single finding with a ``# repro: ignore[rule-id]`` pragma on
+the flagged line, and gate CI on *new* findings with a committed
+baseline file.
+"""
+
+from .core import (
+    Rule,
+    SourceFile,
+    Violation,
+    default_rules,
+    discover_files,
+    run_rules,
+)
+
+__all__ = [
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "default_rules",
+    "discover_files",
+    "run_rules",
+]

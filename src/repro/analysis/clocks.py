@@ -1,0 +1,116 @@
+"""The clock-discipline rule: all time flows through the injected clock.
+
+The whole router runs under the discrete-event simulator; a stray
+``time.time()`` (or ``datetime.now()``, ``perf_counter()``...) makes a
+run non-deterministic and invisible to simulated time.  Components must
+read time through the injected ``Clock``/``now()`` (or, for wall-clock
+latency instrumentation, through ``MetricsRegistry.clock``, which is
+itself injectable).
+
+Allowlisted modules — the two places wall-clock access is the point:
+
+* ``repro.core.clock`` defines :class:`WallClock`, the abstraction;
+* ``repro.obs.metrics`` defaults its registry clock to real time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from .core import Rule, SourceFile, Violation
+
+ALLOWLIST: Set[str] = {"repro.core.clock", "repro.obs.metrics"}
+
+#: Wall-clock primitives in the ``time`` module.
+TIME_FUNCS: Set[str] = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "sleep",
+}
+
+#: Non-deterministic constructors on ``datetime``/``date`` classes.
+DATETIME_FUNCS: Set[str] = {"now", "utcnow", "today"}
+
+
+class ClockDisciplineRule(Rule):
+    name = "clock"
+    ids = ("clock",)
+    description = "wall-clock reads outside the injected-clock abstraction"
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        if source.module in ALLOWLIST:
+            return []
+        violations: List[Violation] = []
+        time_aliases: Set[str] = set()
+        datetime_module_aliases: Set[str] = set()
+        datetime_class_aliases: Set[str] = set()
+
+        def flag(node: ast.AST, what: str) -> None:
+            violations.append(
+                Violation(
+                    path=source.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="clock",
+                    message=(
+                        f"{what} bypasses the injected clock; use the component's "
+                        f"now()/Clock (or MetricsRegistry.clock for latency timing)"
+                    ),
+                )
+            )
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or alias.name)
+                    elif alias.name == "datetime":
+                        datetime_module_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.lineno in source.type_checking_lines:
+                    continue
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in TIME_FUNCS:
+                            flag(node, f"importing time.{alias.name}")
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_class_aliases.add(alias.asname or alias.name)
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            # time.<func>() via a module alias
+            if (
+                isinstance(value, ast.Name)
+                and value.id in time_aliases
+                and func.attr in TIME_FUNCS
+            ):
+                flag(node, f"call to time.{func.attr}()")
+            # datetime.now() via an imported class alias
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in datetime_class_aliases
+                and func.attr in DATETIME_FUNCS
+            ):
+                flag(node, f"call to datetime.{func.attr}()")
+            # datetime.datetime.now() via the module alias
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in datetime_module_aliases
+                and value.attr in ("datetime", "date")
+                and func.attr in DATETIME_FUNCS
+            ):
+                flag(node, f"call to datetime.{value.attr}.{func.attr}()")
+        return violations

@@ -1,0 +1,306 @@
+"""The lint framework: source model, rule protocol, runner, baseline.
+
+Every rule works from a :class:`SourceFile` — the parsed AST plus the
+metadata rules keep needing (module name, pragma lines, TYPE_CHECKING
+import lines).  Rules are small classes with two hooks:
+
+* :meth:`Rule.check_file` — per-file findings (most rules);
+* :meth:`Rule.check_project` — whole-project findings that need a global
+  view (the layering DAG, metric-name cross-checks).
+
+Findings are :class:`Violation` records.  A per-line pragma
+``# repro: ignore[rule-id]`` (or ``ignore[*]``) suppresses findings on
+that line; the committed baseline (see :func:`diff_baseline`) gates CI
+on *new* findings only, keyed by ``path::rule`` counts so line drift
+never breaks the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "default_rules",
+    "diff_baseline",
+    "discover_files",
+    "load_baseline",
+    "run_rules",
+    "violation_counts",
+]
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule id anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline key — deliberately line-free so findings survive drift."""
+        return f"{self.path}::{self.rule}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def _sort_key(v: Violation) -> Tuple[str, int, int, str]:
+    return (v.path, v.line, v.col, v.rule)
+
+
+class SourceFile:
+    """A parsed source file plus the metadata every rule needs."""
+
+    def __init__(self, module: str, path: str, text: str):
+        self.module = module
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self.pragmas = self._parse_pragmas(text)
+        self.type_checking_lines = self._type_checking_import_lines(self.tree)
+
+    @classmethod
+    def from_path(cls, path: Path, module: str, display: str) -> "SourceFile":
+        return cls(module, display, path.read_text(encoding="utf-8"))
+
+    @staticmethod
+    def _parse_pragmas(text: str) -> Dict[int, Set[str]]:
+        pragmas: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if rules:
+                pragmas[lineno] = rules
+        return pragmas
+
+    @staticmethod
+    def _type_checking_import_lines(tree: ast.Module) -> Set[int]:
+        """Line numbers of import statements guarded by ``if TYPE_CHECKING:``.
+
+        Those imports never execute, so they are exempt from the layering
+        and clock rules (they exist purely for annotations).
+        """
+        lines: Set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.If):
+                continue
+            test = node.test
+            is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+                isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+            )
+            if not is_tc:
+                continue
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Import, ast.ImportFrom)):
+                    lines.add(child.lineno)
+        return lines
+
+    def suppressed(self, violation: Violation) -> bool:
+        rules = self.pragmas.get(violation.line)
+        return bool(rules) and ("*" in rules or violation.rule in rules)
+
+    def resolve_relative(self, level: int, target: Optional[str]) -> Optional[str]:
+        """Resolve a relative import to an absolute dotted module name."""
+        parts = self.module.split(".")
+        # The anchor package: for ``repro.net.udp`` it is ``repro.net``;
+        # package __init__ modules are addressed by their package name, so
+        # their anchor is the module itself.
+        anchor = parts if self.is_package else parts[:-1]
+        if level - 1 > len(anchor):
+            return None
+        base = anchor[: len(anchor) - (level - 1)]
+        if target:
+            base = base + target.split(".")
+        return ".".join(base) if base else None
+
+    @property
+    def is_package(self) -> bool:
+        return self.path.endswith("__init__.py")
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.module})"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    ``name`` identifies the rule family; the ids attached to emitted
+    violations (``ids``) are what pragmas and the baseline refer to.
+    """
+
+    name = "rule"
+    ids: Tuple[str, ...] = ()
+    description = ""
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        return ()
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterable[Violation]:
+        return ()
+
+
+def default_rules() -> List[Rule]:
+    """The five repo-specific rule families, in reporting order."""
+    from .clocks import ClockDisciplineRule
+    from .hygiene import ExceptionHygieneRule, PrintRule
+    from .layers import LayeringRule
+    from .metric_names import MetricNameRule
+    from .parsers import ParserSafetyRule
+
+    return [
+        LayeringRule(),
+        ClockDisciplineRule(),
+        ParserSafetyRule(),
+        ExceptionHygieneRule(),
+        PrintRule(),
+        MetricNameRule(),
+    ]
+
+
+def discover_files(package_root: Path, display_root: Optional[Path] = None) -> List[SourceFile]:
+    """Walk ``package_root`` (the ``repro`` package directory) into SourceFiles.
+
+    ``display_root`` is the directory violations' paths are shown relative
+    to (the repo root); defaults to the package root's grandparent, which
+    is the repository root in the ``src/`` layout.
+    """
+    package_root = package_root.resolve()
+    if display_root is None:
+        display_root = package_root.parent.parent
+    files: List[SourceFile] = []
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root)
+        parts = (package_root.name,) + rel.parts
+        if parts[-1] == "__init__.py":
+            module = ".".join(parts[:-1])
+        else:
+            module = ".".join(parts)[: -len(".py")]
+        try:
+            display = path.relative_to(display_root).as_posix()
+        except ValueError:
+            display = path.as_posix()
+        files.append(SourceFile.from_path(path, module, display))
+    return files
+
+
+def run_rules(
+    files: Sequence[SourceFile],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Set[str]] = None,
+) -> List[Violation]:
+    """Run rules over the files; returns pragma-filtered, sorted findings."""
+    if rules is None:
+        rules = default_rules()
+    by_path = {f.path: f for f in files}
+    violations: List[Violation] = []
+    for rule in rules:
+        if select is not None and not (set(rule.ids) & select):
+            continue
+        for source in files:
+            violations.extend(rule.check_file(source))
+        violations.extend(rule.check_project(files))
+    kept = []
+    for violation in violations:
+        if select is not None and violation.rule not in select:
+            continue
+        source = by_path.get(violation.path)
+        if source is not None and source.suppressed(violation):
+            continue
+        kept.append(violation)
+    return sorted(set(kept), key=_sort_key)
+
+
+# ----------------------------------------------------------------------
+# Baseline: CI fails only on *new* violations
+# ----------------------------------------------------------------------
+
+
+def violation_counts(violations: Iterable[Violation]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.key] = counts.get(violation.key, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file; missing file means an empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    counts = data.get("counts", {}) if isinstance(data, dict) else {}
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> None:
+    payload = {
+        "comment": (
+            "repro-lint baseline: pre-existing violations tolerated by CI. "
+            "Regenerate with `python -m repro lint --write-baseline`; "
+            "burn it down, never grow it."
+        ),
+        "counts": dict(sorted(violation_counts(violations).items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@dataclass
+class BaselineDiff:
+    """Current findings split against the committed baseline."""
+
+    new: List[Violation] = field(default_factory=list)
+    baselined: List[Violation] = field(default_factory=list)
+    fixed_keys: List[str] = field(default_factory=list)
+
+
+def diff_baseline(violations: Sequence[Violation], baseline: Dict[str, int]) -> BaselineDiff:
+    """Split findings into new vs. baselined, count-keyed by path::rule.
+
+    If a key has more findings than the baseline allows, the excess (the
+    last ones in line order) count as new.  Keys whose findings dropped
+    below the baseline are reported as fixed so the baseline can be
+    regenerated smaller.
+    """
+    diff = BaselineDiff()
+    seen: Dict[str, int] = {}
+    for violation in violations:
+        seen[violation.key] = seen.get(violation.key, 0) + 1
+        if seen[violation.key] <= baseline.get(violation.key, 0):
+            diff.baselined.append(violation)
+        else:
+            diff.new.append(violation)
+    for key, allowed in sorted(baseline.items()):
+        if seen.get(key, 0) < allowed:
+            diff.fixed_keys.append(key)
+    return diff
+
+
+def iter_function_defs(tree: ast.AST) -> Iterator[ast.AST]:
+    """Yield every function/method definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,113 @@
+"""Exception and output hygiene rules.
+
+``except-swallow`` — a bare ``except:`` anywhere, or a broad
+``except Exception`` whose handler neither logs, nor increments a
+metric, nor re-raises.  Broad catches are legitimate at fault barriers
+(the NOX dispatch loop, the RPC server, the event bus) *provided* the
+failure is observable; silently eating everything is not.
+
+``print-call`` — ``print()`` in library code.  Everything under
+``src/repro`` must report through module-level ``logging`` loggers so
+output is routable and silenceable; the CLI configures logging once
+(see ``python -m repro --verbose``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .core import Rule, SourceFile, Violation
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Method names that make a handler observable.
+LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical", "log"}
+METRIC_METHODS = {"inc", "dec", "observe", "set"}
+
+
+def _is_broad(handler_type: ast.AST) -> bool:
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in BROAD_NAMES
+    if isinstance(handler_type, ast.Attribute):
+        return handler_type.attr in BROAD_NAMES
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(elt) for elt in handler_type.elts)
+    return False
+
+
+def _handler_is_observable(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in LOG_METHODS or node.func.attr in METRIC_METHODS:
+                return True
+    return False
+
+
+class ExceptionHygieneRule(Rule):
+    name = "hygiene"
+    ids = ("except-swallow",)
+    description = "broad exception handlers that swallow silently"
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                violations.append(
+                    Violation(
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule="except-swallow",
+                        message=(
+                            "bare except: catches SystemExit/KeyboardInterrupt; "
+                            "catch a specific exception type"
+                        ),
+                    )
+                )
+            elif _is_broad(node.type) and not _handler_is_observable(node):
+                violations.append(
+                    Violation(
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule="except-swallow",
+                        message=(
+                            "broad except swallows silently; log it, count it "
+                            "(obs error counter), re-raise, or narrow the type"
+                        ),
+                    )
+                )
+        return violations
+
+
+class PrintRule(Rule):
+    name = "print"
+    ids = ("print-call",)
+    description = "print() in library code; use module-level logging"
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                violations.append(
+                    Violation(
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule="print-call",
+                        message=(
+                            "print() in library code; use a module-level "
+                            "logging logger (the CLI configures handlers once)"
+                        ),
+                    )
+                )
+        return violations

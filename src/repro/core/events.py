@@ -77,6 +77,7 @@ class EventBus:
         self._wildcard: List[Handler] = []
         self._published = 0
         self._delivered = 0
+        self._handler_errors = 0
 
     def subscribe(self, pattern: str, handler: Handler) -> Subscription:
         """Register ``handler`` for events matching ``pattern``."""
@@ -114,6 +115,7 @@ class EventBus:
                 handler(event)
                 count += 1
             except Exception:  # noqa: BLE001 - isolate subscriber faults
+                self._handler_errors += 1
                 logger.exception("event handler failed for %s", event.name)
         self._delivered += count
         return count
@@ -128,4 +130,8 @@ class EventBus:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return {"published": self._published, "delivered": self._delivered}
+        return {
+            "published": self._published,
+            "delivered": self._delivered,
+            "handler_errors": self._handler_errors,
+        }

@@ -1,0 +1,56 @@
+"""Household composition: specs in, running router + workloads out.
+
+:func:`build_household` wires a :class:`~repro.core.router.HomeworkRouter`
+to a simulated household described by :class:`~repro.sim.topology.DeviceSpec`
+rows.  It lives at the application layer — above both ``core.router`` and
+``sim`` — because it is the one place that composes them; the scenario
+*data* (``DeviceSpec``, ``Household``, ``STANDARD_HOUSEHOLD``) stays in
+:mod:`repro.sim.topology`, which must not import the router (repro-lint's
+``layering`` rule enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .core.config import RouterConfig
+from .core.router import HomeworkRouter
+from .sim.simulator import Simulator
+from .sim.topology import DeviceSpec, Household, STANDARD_HOUSEHOLD
+from .sim.traffic import DEFAULT_WORKLOADS
+
+
+def build_household(
+    specs: Sequence[DeviceSpec] = STANDARD_HOUSEHOLD,
+    seed: int = 7,
+    config: Optional[RouterConfig] = None,
+    join_seconds: float = 5.0,
+    start_traffic: bool = True,
+) -> Household:
+    """Build, join and (optionally) load a household in one call."""
+    sim = Simulator(seed=seed)
+    router = HomeworkRouter(
+        sim, config=config or RouterConfig(default_permit=True)
+    )
+    router.start()
+    household = Household(sim, router)
+    for spec in specs:
+        host = router.add_device(
+            spec.name,
+            spec.mac,
+            wireless=spec.wireless,
+            position=spec.position,
+            device_class=spec.device_class,
+        )
+        household.hosts[spec.name] = host
+        host.start_dhcp()
+    sim.run_for(join_seconds)
+    if start_traffic:
+        delay = 0.2
+        for spec in specs:
+            for generator_cls in DEFAULT_WORKLOADS.get(spec.device_class, ()):
+                generator = generator_cls(household.hosts[spec.name])
+                generator.start(delay)
+                household.generators.append(generator)
+                delay += 0.3
+    return household

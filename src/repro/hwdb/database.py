@@ -15,7 +15,6 @@ queries and continuous subscriptions.  The RPC front-end lives in
 from __future__ import annotations
 
 import logging
-from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.clock import Clock
@@ -84,6 +83,8 @@ class Subscription:
                 self.callback(result)
             except Exception:  # noqa: BLE001 - subscriber faults stay local
                 logger.exception("subscription %d callback failed", self.id)
+                if self.db._registry is not None:
+                    self.db._registry.counter("hwdb.subscriber_error_total").inc()
         return result
 
     def cancel(self) -> None:
@@ -188,12 +189,13 @@ class HomeworkDatabase:
             # the attribute add is measurably cheaper than a method call.
             counter.value += 1
             if self.inserts & self.INSERT_SAMPLE_MASK == 0:
-                t0 = perf_counter()
+                timer = self._registry.clock
+                t0 = timer()
                 if isinstance(record, dict):
                     table.insert_dict(self.now, record)
                 else:
                     table.insert(self.now, list(record))
-                self._m_append.observe(perf_counter() - t0)
+                self._m_append.observe(timer() - t0)
                 return
         if isinstance(record, dict):
             table.insert_dict(self.now, record)
@@ -214,9 +216,10 @@ class HomeworkDatabase:
         if isinstance(statement, Select):
             if self._m_queries is not None:
                 self._m_queries.inc()
-                t0 = perf_counter()
+                timer = self._registry.clock
+                t0 = timer()
                 result = execute_select(statement, self._tables, self.now)
-                self._m_query_lat.observe(perf_counter() - t0)
+                self._m_query_lat.observe(timer() - t0)
                 return result
             return execute_select(statement, self._tables, self.now)
         if isinstance(statement, Insert):

@@ -134,9 +134,11 @@ class RpcServer:
         if registry is None:
             self._m_requests = None
             self._m_pushes = None
+            self._m_errors = None
         else:
             self._m_requests = registry.counter("rpc.request_total")
             self._m_pushes = registry.counter("rpc.push_total")
+            self._m_errors = registry.counter("rpc.internal_error_total")
 
     def handle_datagram(self, data: bytes, reply: ReplyFn) -> None:
         """Process one request datagram, replying via ``reply``."""
@@ -154,6 +156,8 @@ class RpcServer:
             response = f"ERROR {exc}"
         except Exception as exc:  # noqa: BLE001 - never kill the server
             logger.exception("rpc request failed")
+            if self._m_errors is not None:
+                self._m_errors.inc()
             response = f"ERROR internal: {exc}"
         reply(response.encode("utf-8"))
 

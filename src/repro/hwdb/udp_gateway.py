@@ -15,14 +15,16 @@ provides the genuine wire path for when fidelity matters:
 from __future__ import annotations
 
 import logging
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
 
 from ..core.errors import RpcError
 from ..net.addresses import IPv4Address
 from ..net.udp import PORT_HWDB_RPC
-from ..sim.host import Host
 from .cql.executor import ResultSet
 from .rpc import RpcServer, unpack_resultset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.host import Host
 
 logger = logging.getLogger(__name__)
 

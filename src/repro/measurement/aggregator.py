@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.errors import HwdbError
 from ..hwdb.database import HomeworkDatabase
-from ..net.addresses import MACAddress
+from ..net.addresses import AddressError, MACAddress
 from .protocols import classify
 
 
@@ -150,7 +150,7 @@ class BandwidthAggregator:
         try:
             mac = str(MACAddress(device))
             target_ips = {ip for ip, (m, _h) in device_map.items() if m == mac}
-        except Exception:  # noqa: BLE001 - not a MAC, treat as IP
+        except AddressError:  # not a MAC, treat as IP
             target_ips = {str(device)}
         result = self.db.query(
             f"SELECT src_ip, dst_ip, proto, src_port, dst_port, bytes "

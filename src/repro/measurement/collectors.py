@@ -21,10 +21,10 @@ from ..hwdb.database import HomeworkDatabase
 from ..net.addresses import MACAddress
 from ..net.ethernet import ETH_TYPE_IPV4
 from ..openflow.messages import STATS_FLOW, StatsReply
-from ..sim.link import Link, WirelessLink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nox.controller import Controller
+    from ..sim.link import Link
     from ..sim.simulator import Simulator
 
 logger = logging.getLogger(__name__)
@@ -166,10 +166,12 @@ class LinkCollector:
         self._timer = None
         self.rows_written = 0
 
-    def register(self, mac: Union[str, MACAddress], link: Link) -> None:
+    def register(self, mac: Union[str, MACAddress], link: "Link") -> None:
         """Track one station's access link."""
         mac = MACAddress(mac)
-        wired = not isinstance(link, WirelessLink)
+        # Structural check instead of isinstance: wireless links expose an
+        # RSSI, and measurement must not import the simulator layer.
+        wired = getattr(link, "rssi_dbm", None) is None
         self._links[mac] = (link, wired)
 
     def start(self) -> None:

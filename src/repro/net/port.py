@@ -1,0 +1,66 @@
+"""A network attachment point with TX/RX accounting.
+
+:class:`Port` is the lowest-level interface object in the stack: hosts,
+the router's datapath and the simulator's links all exchange frames
+through ports.  It lives in :mod:`repro.net` (not :mod:`repro.sim`)
+because it is shared vocabulary between the packet layer, the OpenFlow
+datapath and the simulator — the layering contract says ``net`` never
+imports upward, and everything above may import ``net``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.link import Link
+
+ReceiveHandler = Callable[[bytes, "Port"], None]
+
+
+class Port:
+    """An attachment point with a receive handler.
+
+    ``number`` is the OpenFlow port number when the owner is the router's
+    datapath; hosts use port 0.
+    """
+
+    def __init__(self, name: str, number: int = 0):
+        self.name = name
+        self.number = number
+        self.link: Optional["Link"] = None
+        self._handler: Optional[ReceiveHandler] = None
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.up = True
+
+    def on_receive(self, handler: ReceiveHandler) -> None:
+        """Install the owner's frame handler."""
+        self._handler = handler
+
+    def send(self, frame: bytes) -> bool:
+        """Transmit ``frame`` onto the attached link.
+
+        Returns False when the port is down or unattached (frame lost),
+        mirroring a real NIC with no carrier.
+        """
+        if not self.up or self.link is None:
+            return False
+        self.tx_packets += 1
+        self.tx_bytes += len(frame)
+        self.link.transmit(self, frame)
+        return True
+
+    def deliver(self, frame: bytes) -> None:
+        """Called by the link when a frame arrives at this port."""
+        if not self.up:
+            return
+        self.rx_packets += 1
+        self.rx_bytes += len(frame)
+        if self._handler is not None:
+            self._handler(frame, self)
+
+    def __repr__(self) -> str:
+        return f"Port({self.name!r}, number={self.number})"

@@ -10,7 +10,6 @@ API components use: flow-mod installation, packet-out, stats requests.
 from __future__ import annotations
 
 import logging
-from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
 
 from ..core.errors import ControllerError
@@ -97,11 +96,13 @@ class Controller:
             self._m_flow_mods = None
             self._m_packet_outs = None
             self._m_handle_lat = None
+            self._m_handler_errors = None
         else:
             self._m_packet_ins = registry.counter("openflow.packet_in_total")
             self._m_flow_mods = registry.counter("openflow.flow_mod_total")
             self._m_packet_outs = registry.counter("openflow.packet_out_total")
             self._m_handle_lat = registry.histogram("openflow.packet_in_handle_seconds")
+            self._m_handler_errors = registry.counter("openflow.handler_error_total")
 
     # ------------------------------------------------------------------
     # Component management
@@ -156,6 +157,8 @@ class Controller:
                 logger.exception(
                     "component %s handler for %s raised", registration.owner, event_name
                 )
+                if self._m_handler_errors is not None:
+                    self._m_handler_errors.inc()
                 continue
             if verdict == STOP:
                 return
@@ -183,9 +186,9 @@ class Controller:
             self.packet_ins_handled += 1
             if self._m_packet_ins is not None:
                 self._m_packet_ins.inc()
-                t0 = perf_counter()
+                t0 = self.registry.clock()
                 self.dispatch(EV_PACKET_IN, msg)
-                self._m_handle_lat.observe(perf_counter() - t0)
+                self._m_handle_lat.observe(self.registry.clock() - t0)
             else:
                 self.dispatch(EV_PACKET_IN, msg)
         elif isinstance(msg, FlowRemoved):

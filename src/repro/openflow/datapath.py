@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from ..core.errors import DatapathError
 from ..net.ethernet import Ethernet
 from ..net.packet import PacketError
-from ..sim.link import Port
+from ..net.port import Port
 from .actions import (
     Action,
     ActionList,

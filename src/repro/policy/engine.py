@@ -85,6 +85,21 @@ class PolicyEngine:
         self.enforce(now)
         return policy
 
+    def install_document(self, document: Dict[str, object], now: float = 0.0) -> Policy:
+        """Validate a policy dict (REST body, config file) and install it.
+
+        Raises :class:`PolicyError` for any malformed document, so callers
+        above the policy layer (the control API) never need to import the
+        policy model to distinguish validation failures.
+        """
+        try:
+            policy = Policy.from_dict(document)
+        except PolicyError:
+            raise
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise PolicyError(f"malformed policy document: {exc}") from exc
+        return self.install(policy, now)
+
     def remove(self, policy_id: int, now: float = 0.0) -> None:
         policy = self._policies.pop(policy_id, None)
         if policy is None:

@@ -36,15 +36,15 @@ import logging
 from typing import Optional, TYPE_CHECKING
 
 from ...core.config import RouterConfig
+from ...core.errors import PolicyError
 from ...core.events import EventBus
 from ...nox.component import Component
-from ...policy.engine import PolicyEngine
-from ...policy.model import Policy
 from .http import HttpError, HttpRequest, HttpResponse, error_response, json_response
 from .rest import RestRouter, add_metrics_route
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...hwdb.database import HomeworkDatabase
+    from ...policy.engine import PolicyEngine
     from ..dhcp.server import DhcpServer
     from ..dnsproxy.proxy import DnsProxy
     from ..routing import RouterCore
@@ -64,7 +64,7 @@ class ControlApi(Component):
         bus: EventBus,
         dhcp: "DhcpServer",
         dns_proxy: Optional["DnsProxy"] = None,
-        policy_engine: Optional[PolicyEngine] = None,
+        policy_engine: Optional["PolicyEngine"] = None,
         router_core: Optional["RouterCore"] = None,
         hwdb: Optional["HomeworkDatabase"] = None,
     ):
@@ -77,7 +77,7 @@ class ControlApi(Component):
         self.router_core = router_core
         self.hwdb = hwdb
         self.registry = getattr(controller, "registry", None)
-        self.router = RestRouter()
+        self.router = RestRouter(registry=self.registry)
         self.requests_served = 0
         self._register_routes()
 
@@ -245,7 +245,7 @@ class ControlApi(Component):
 
     # -- policies -----------------------------------------------------------
 
-    def _need_engine(self) -> PolicyEngine:
+    def _need_engine(self) -> "PolicyEngine":
         if self.policy_engine is None:
             raise HttpError(404, "policy engine not attached")
         return self.policy_engine
@@ -263,10 +263,9 @@ class ControlApi(Component):
         engine = self._need_engine()
         body = request.json()
         try:
-            policy = Policy.from_dict(body)
-        except Exception as exc:  # noqa: BLE001 - report as 400
+            policy = engine.install_document(body, self.now)
+        except PolicyError as exc:
             raise HttpError(400, f"bad policy document: {exc}") from exc
-        engine.install(policy, self.now)
         return json_response(policy.to_dict(), status=201)
 
     def _remove_policy(self, request: HttpRequest, pid: str) -> HttpResponse:

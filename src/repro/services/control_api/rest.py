@@ -44,8 +44,11 @@ def _compile_template(template: str) -> re.Pattern:
 class RestRouter:
     """Routes (method, path) to handlers with extracted path params."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None) -> None:
         self._routes: List[Tuple[str, re.Pattern, str, Handler]] = []
+        self._m_errors = (
+            registry.counter("http.handler_error_total") if registry is not None else None
+        )
 
     def route(self, method: str, template: str) -> Callable[[Handler], Handler]:
         """Decorator: ``@router.route("GET", "/devices/{mac}")``."""
@@ -76,6 +79,8 @@ class RestRouter:
                 return error_response(exc.status, str(exc))
             except Exception as exc:  # noqa: BLE001 - API must answer
                 logger.exception("handler for %s %s failed", method, request.path)
+                if self._m_errors is not None:
+                    self._m_errors.inc()
                 return error_response(500, f"internal error: {exc}")
         if path_matched:
             return error_response(405, f"method {request.method} not allowed")

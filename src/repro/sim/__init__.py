@@ -13,12 +13,7 @@ from .traffic import (
     VideoStreaming,
     WebBrowsing,
 )
-from .topology import (
-    DeviceSpec,
-    Household,
-    STANDARD_HOUSEHOLD,
-    build_household,
-)
+from .topology import DeviceSpec, Household, STANDARD_HOUSEHOLD
 from .upstream import DEFAULT_ZONE, InternetCloud
 from .wireless import PathLossModel, RadioEnvironment, Wall
 
@@ -43,7 +38,6 @@ __all__ = [
     "DeviceSpec",
     "Household",
     "STANDARD_HOUSEHOLD",
-    "build_household",
     "PathLossModel",
     "RadioEnvironment",
     "Wall",

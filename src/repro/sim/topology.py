@@ -1,21 +1,20 @@
-"""Household topology builder.
+"""Household topology data: device specs and the built-household record.
 
-A convenience layer for experiments and demos: declare a household as
-(name, class, wired/wireless, position) rows and get a fully joined
-router with the class-appropriate traffic mix from
-:data:`~repro.sim.traffic.DEFAULT_WORKLOADS` already running.
+Declare a household as (name, class, wired/wireless, position) rows.
+The composition step that turns these rows into a running router lives
+above this layer, in :func:`repro.household.build_household` — ``sim``
+never imports the router (repro-lint's ``layering`` rule enforces this).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from .host import Host
 from .simulator import Simulator
-from .traffic import DEFAULT_WORKLOADS, TrafficGenerator
+from .traffic import TrafficGenerator
 
-if TYPE_CHECKING:  # pragma: no cover - avoid the core<->sim import cycle
-    from ..core.config import RouterConfig
+if TYPE_CHECKING:  # pragma: no cover - the router lives above this layer
     from ..core.router import HomeworkRouter
 
 
@@ -63,42 +62,3 @@ class Household:
     def stop_traffic(self) -> None:
         for generator in self.generators:
             generator.stop()
-
-
-def build_household(
-    specs: Sequence[DeviceSpec] = STANDARD_HOUSEHOLD,
-    seed: int = 7,
-    config: Optional["RouterConfig"] = None,
-    join_seconds: float = 5.0,
-    start_traffic: bool = True,
-) -> Household:
-    """Build, join and (optionally) load a household in one call."""
-    from ..core.config import RouterConfig
-    from ..core.router import HomeworkRouter
-
-    sim = Simulator(seed=seed)
-    router = HomeworkRouter(
-        sim, config=config or RouterConfig(default_permit=True)
-    )
-    router.start()
-    household = Household(sim, router)
-    for spec in specs:
-        host = router.add_device(
-            spec.name,
-            spec.mac,
-            wireless=spec.wireless,
-            position=spec.position,
-            device_class=spec.device_class,
-        )
-        household.hosts[spec.name] = host
-        host.start_dhcp()
-    sim.run_for(join_seconds)
-    if start_traffic:
-        delay = 0.2
-        for spec in specs:
-            for generator_cls in DEFAULT_WORKLOADS.get(spec.device_class, ()):
-                generator = generator_cls(household.hosts[spec.name])
-                generator.start(delay)
-                household.generators.append(generator)
-                delay += 0.3
-    return household

@@ -1,0 +1,14 @@
+"""Fixture: every way to bypass the injected clock."""
+
+import time
+import datetime
+from datetime import datetime as dt
+from time import perf_counter
+
+
+def stamp():
+    t = time.time()
+    m = time.monotonic()
+    d = dt.now()
+    w = datetime.datetime.now()
+    return t, m, d, w, perf_counter

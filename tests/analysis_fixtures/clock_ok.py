@@ -1,0 +1,11 @@
+"""Fixture: disciplined time access through an injected clock."""
+
+from typing import Callable
+
+
+class Meter:
+    def __init__(self, clock: Callable[[], float]):
+        self.clock = clock
+
+    def sample(self) -> float:
+        return self.clock()

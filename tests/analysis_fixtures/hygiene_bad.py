@@ -1,0 +1,13 @@
+"""Fixture: silent handlers and print() in library code."""
+
+
+def risky(action):
+    try:
+        action()
+    except:
+        pass
+    try:
+        action()
+    except Exception:
+        pass
+    print("done")

@@ -1,0 +1,24 @@
+"""Fixture: broad catches that stay observable."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def careful(action, errors):
+    try:
+        action()
+    except ValueError:
+        pass  # narrow: fine to swallow
+    try:
+        action()
+    except Exception:
+        logger.exception("action failed")
+    try:
+        action()
+    except Exception:
+        errors.inc()
+    try:
+        action()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc

@@ -1,0 +1,7 @@
+"""Fixture: half of a module-level import cycle (repro.hwdb.cycle_a)."""
+
+from repro.hwdb.cycle_b import B
+
+
+class A:
+    pass

@@ -1,0 +1,7 @@
+"""Fixture: the other half of the cycle (repro.hwdb.cycle_b)."""
+
+from repro.hwdb.cycle_a import A
+
+
+class B:
+    pass

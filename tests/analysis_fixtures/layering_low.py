@@ -1,0 +1,14 @@
+"""Fixture: a net-layer module reaching upward (wrapped as repro.net.*)."""
+
+from typing import TYPE_CHECKING
+
+from repro.nox.controller import Controller
+
+if TYPE_CHECKING:
+    from repro.ui.artifact import NetworkArtifact
+
+
+def attach():
+    from repro.sim.simulator import Simulator
+
+    return Controller, Simulator

@@ -1,0 +1,10 @@
+"""Fixture: per-line pragma suppression."""
+
+import time
+
+
+def stamp():
+    a = time.time()  # repro: ignore[clock] - fixture exercises suppression
+    b = time.time()  # repro: ignore[*]
+    c = time.time()
+    return a, b, c

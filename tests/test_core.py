@@ -133,7 +133,7 @@ class TestEventBus:
         bus.subscribe("x", lambda e: None)
         bus.emit("x")
         bus.emit("y")
-        assert bus.stats == {"published": 2, "delivered": 1}
+        assert bus.stats == {"published": 2, "delivered": 1, "handler_errors": 0}
 
 
 class TestRouterConfig:

@@ -5,11 +5,8 @@ import pytest
 from repro.core.clock import SimulatedClock
 from repro.hwdb.cql import parse, unparse
 from repro.hwdb.database import HomeworkDatabase
-from repro.sim.topology import (
-    DeviceSpec,
-    STANDARD_HOUSEHOLD,
-    build_household,
-)
+from repro.household import build_household
+from repro.sim.topology import DeviceSpec, STANDARD_HOUSEHOLD
 
 
 class TestHouseholdBuilder:

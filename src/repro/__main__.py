@@ -7,6 +7,7 @@ Subcommands::
     python -m repro stats       # run a household and dump router stats
     python -m repro metrics     # run a household and pretty-print telemetry
     python -m repro lint        # repro-lint: repo-specific static analysis
+    python -m repro fuzz        # deterministic scenario fuzzing (repro.check)
 
 Each demo runs entirely in simulated time and shows what the paper's
 demo visitors would have seen.  All CLI output flows through ``logging``
@@ -213,6 +214,11 @@ def main(argv=None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        # Likewise for the scenario fuzzer.
+        from .check.cli import main as fuzz_main
+
+        return fuzz_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -222,7 +228,7 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "figures", "stats", "metrics", "lint"],
+        choices=["demo", "figures", "stats", "metrics", "lint", "fuzz"],
         help="which walk-through to run (default: demo)",
     )
     parser.add_argument("--seed", type=int, default=42, help="simulation seed")

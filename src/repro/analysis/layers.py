@@ -14,7 +14,8 @@ never above):
  7      ``measurement``
  8      ``obs``
  9      ``sim``
- 10     app — ``ui``, ``core.router``, the package roots, ``analysis``
+ 10     app — ``ui``, ``core.router``, the package roots, ``analysis``,
+        ``check`` (the fuzzer drives the whole stack)
 ====== =====================================================
 
 Imports guarded by ``if TYPE_CHECKING:`` are exempt (they never execute).
@@ -52,6 +53,7 @@ LAYER_PREFIXES: Tuple[Tuple[int, str], ...] = (
     (10, "repro.core.router"),
     (10, "repro.core"),
     (10, "repro.analysis"),
+    (10, "repro.check"),
     (10, "repro.__main__"),
     (10, "repro"),
 )

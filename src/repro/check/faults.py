@@ -1,0 +1,69 @@
+"""Fault models plugged into the simulation.
+
+The only one with state is :class:`LinkFault`, installed on a
+:class:`~repro.sim.link.Link` via its ``fault`` hook: for every frame it
+returns a *delivery plan* — a tuple of extra-latency offsets, one per
+copy to deliver.  ``()`` drops the frame, ``(0.0,)`` delivers normally,
+``(0.0, 0.0)`` duplicates, and ``(delta,)`` holds the frame back past
+whatever is queued behind it (reordering).  Randomness comes from the
+simulation's own seeded stream, so faults are as replayable as
+everything else.
+
+Channel flaps and time warps need no model class — the runner drives
+``SecureChannel.disconnect``/``reconnect`` and ``Simulator.run_until``
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulator import Simulator
+
+NORMAL: Tuple[float, ...] = (0.0,)
+
+
+class LinkFault:
+    """Probabilistic frame mangling on one link, active until a deadline."""
+
+    __slots__ = ("drop", "duplicate", "reorder", "delay", "until", "drops", "duplicates", "reorders")
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        delay: float = 0.01,
+        until: float = float("inf"),
+    ):
+        self.drop = float(drop)
+        self.duplicate = float(duplicate)
+        self.reorder = float(reorder)
+        self.delay = float(delay)
+        self.until = float(until)
+        self.drops = 0
+        self.duplicates = 0
+        self.reorders = 0
+
+    def plan(self, sim: "Simulator", frame: bytes) -> Tuple[float, ...]:
+        """The delivery plan for one frame (consumes ``sim.random``)."""
+        if sim.now >= self.until:
+            return NORMAL
+        roll = sim.random.random()
+        if roll < self.drop:
+            self.drops += 1
+            return ()
+        if roll < self.drop + self.duplicate:
+            self.duplicates += 1
+            return (0.0, 0.0)
+        if roll < self.drop + self.duplicate + self.reorder:
+            self.reorders += 1
+            return (self.delay,)
+        return NORMAL
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkFault(drop={self.drop}, duplicate={self.duplicate}, "
+            f"reorder={self.reorder}, until={self.until})"
+        )

@@ -1,0 +1,352 @@
+"""Scenario model and seeded generator.
+
+A scenario is a seed, a router configuration, and a time-ordered list of
+operations — the household's "day": devices appear, acquire addresses,
+browse, get policies slapped on them, keys come and go, links misbehave.
+Scenarios serialise to JSON so a failing one can be checked in verbatim
+and replayed forever.
+
+The generator is pure: it draws only from its own ``random.Random`` (the
+simulation's randomness is a separate stream owned by the runner), so
+``generate_scenario(seed)`` is reproducible regardless of what any
+simulation did before or after.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Iterable, List, Optional
+
+#: Hostnames the simulated internet resolves (mirrors the cloud's
+#: built-in zone; kept literal so scenarios are self-describing).
+ZONE_NAMES = (
+    "facebook.com",
+    "www.facebook.com",
+    "youtube.com",
+    "www.youtube.com",
+    "bbc.co.uk",
+    "www.bbc.co.uk",
+    "mail.example.org",
+    "www.example.org",
+    "homework.example.net",
+    "updates.example.io",
+    "cdn.example.io",
+    "iot.example.io",
+)
+
+#: Domain suffixes policies restrict (each matches some ZONE_NAMES entry).
+POLICY_SITES = (
+    "facebook.com",
+    "youtube.com",
+    "bbc.co.uk",
+    "example.org",
+    "example.io",
+)
+
+DEVICE_CLASSES = ("laptop", "phone", "tablet", "tv", "iot", "generic")
+
+#: Every operation kind the runner understands.  ``corrupt_flows`` is a
+#: test-only chaos op (never generated) that plants a bogus hwdb row so
+#: the shrinking/replay machinery can be exercised on a known failure.
+OP_KINDS = (
+    "add_device",
+    "start_dhcp",
+    "permit",
+    "deny",
+    "release",
+    "dns_lookup",
+    "tcp_flow",
+    "udp_flow",
+    "ping",
+    "policy_install",
+    "policy_remove",
+    "usb_insert",
+    "usb_remove",
+    "link_fault",
+    "channel_down",
+    "time_warp",
+    "hwdb_pressure",
+    "corrupt_flows",
+)
+
+
+class Op:
+    """One timed operation: ``(t, kind, args)``."""
+
+    __slots__ = ("t", "kind", "args")
+
+    def __init__(self, t: float, kind: str, args: Optional[Dict[str, object]] = None):
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}")
+        self.t = round(float(t), 6)
+        self.kind = kind
+        self.args: Dict[str, object] = dict(args or {})
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"t": self.t, "kind": self.kind, "args": self.args}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Op":
+        return cls(float(data["t"]), str(data["kind"]), dict(data.get("args") or {}))  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return f"Op(t={self.t}, {self.kind}, {self.args})"
+
+
+class Scenario:
+    """A complete, replayable fuzz input."""
+
+    __slots__ = ("seed", "config", "ops", "duration")
+
+    def __init__(
+        self,
+        seed: int,
+        config: Dict[str, object],
+        ops: Iterable[Op],
+        duration: float,
+    ):
+        self.seed = int(seed)
+        self.config = dict(config)
+        self.ops = sorted(ops, key=lambda op: op.t)
+        self.duration = round(float(duration), 6)
+
+    def replace_ops(self, ops: Iterable[Op]) -> "Scenario":
+        """A copy with a different op list (same seed/config/duration)."""
+        return Scenario(self.seed, self.config, list(ops), self.duration)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "config": self.config,
+            "duration": self.duration,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        return cls(
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            config=dict(data.get("config") or {}),  # type: ignore[arg-type]
+            ops=[Op.from_dict(op) for op in data.get("ops") or []],  # type: ignore[union-attr]
+            duration=float(data.get("duration", 0.0)),  # type: ignore[arg-type]
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return f"Scenario(seed={self.seed}, ops={len(self.ops)}, duration={self.duration})"
+
+
+def _device_name(index: int) -> str:
+    return f"dev{index:02d}"
+
+
+def _device_mac(index: int) -> str:
+    return f"02:f2:00:00:{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}"
+
+
+class _GenState:
+    """Mutable generator bookkeeping: what exists so ops stay coherent."""
+
+    def __init__(self) -> None:
+        self.devices: List[str] = []  # names, in creation order
+        self.macs: Dict[str, str] = {}
+        self.started: List[str] = []
+        self.next_device = 0
+        self.next_policy_slot = 0
+        self.active_slots: List[int] = []
+        self.gated_key_ids: List[str] = []
+        self.next_key = 0
+        self.inserted_labels: List[str] = []
+
+
+def _gen_add_device(rng: random.Random, state: _GenState) -> Dict[str, object]:
+    index = state.next_device
+    state.next_device += 1
+    name = _device_name(index)
+    mac = _device_mac(index)
+    state.devices.append(name)
+    state.macs[name] = mac
+    return {
+        "name": name,
+        "mac": mac,
+        "wireless": rng.random() < 0.5,
+        "device_class": rng.choice(DEVICE_CLASSES),
+        "position": [round(rng.uniform(1.0, 20.0), 2), round(rng.uniform(1.0, 20.0), 2)],
+    }
+
+
+def _gen_policy_doc(rng: random.Random, state: _GenState, slot: int) -> Dict[str, object]:
+    targets = rng.sample(state.devices, k=min(len(state.devices), rng.choice((1, 1, 2))))
+    network = "deny" if rng.random() < 0.3 else "allow"
+    dns_mode = rng.choice(("all", "block", "block", "only"))
+    sites = sorted(rng.sample(POLICY_SITES, k=rng.randrange(1, 3))) if dns_mode != "all" else []
+    document: Dict[str, object] = {
+        "name": f"pol{slot}",
+        "targets": [state.macs[t] for t in targets],
+        "network": network,
+        "dns_mode": dns_mode,
+        "sites": sites,
+    }
+    if rng.random() < 0.35:
+        key_id = f"key{len(state.gated_key_ids)}"
+        state.gated_key_ids.append(key_id)
+        document["usb_gated"] = True
+        document["unlock_key_id"] = key_id
+    return document
+
+
+def generate_scenario(
+    seed: int,
+    max_ops: int = 40,
+    duration: float = 300.0,
+    lease_time: Optional[float] = None,
+) -> Scenario:
+    """A random household day, fully determined by ``seed``."""
+    rng = random.Random(seed)
+    state = _GenState()
+    ops: List[Op] = []
+    t = 0.5
+
+    lease = lease_time if lease_time is not None else rng.choice((45.0, 90.0, 180.0, 600.0))
+    config: Dict[str, object] = {
+        "lease_time": lease,
+        "nat_enabled": True,
+        "nat_idle_timeout": rng.choice((30.0, 60.0, 120.0)),
+        "hwdb_buffer_rows": rng.choice((128, 256, 512)),
+        "default_permit": False,
+    }
+
+    def emit(kind: str, args: Dict[str, object], gap: float) -> None:
+        nonlocal t
+        ops.append(Op(t, kind, args))
+        t = round(t + gap, 6)
+
+    # Bootstrap: a small household joins and (mostly) gets permitted.
+    for _ in range(rng.randrange(2, 5)):
+        args = _gen_add_device(rng, state)
+        name = str(args["name"])
+        emit("add_device", args, rng.uniform(0.1, 0.5))
+        emit("start_dhcp", {"device": name}, rng.uniform(0.1, 0.5))
+        state.started.append(name)
+        if rng.random() < 0.85:
+            emit("permit", {"device": name}, rng.uniform(0.2, 1.0))
+
+    weighted = (
+        ("dns_lookup", 16),
+        ("tcp_flow", 11),
+        ("udp_flow", 7),
+        ("ping", 5),
+        ("permit", 7),
+        ("deny", 4),
+        ("start_dhcp", 4),
+        ("release", 3),
+        ("add_device", 4),
+        ("policy_install", 6),
+        ("policy_remove", 4),
+        ("usb_insert", 4),
+        ("usb_remove", 3),
+        ("link_fault", 6),
+        ("channel_down", 3),
+        ("time_warp", 4),
+        ("hwdb_pressure", 3),
+    )
+    kinds = [kind for kind, weight in weighted for _ in range(weight)]
+
+    while len(ops) < max_ops and t < duration:
+        kind = rng.choice(kinds)
+        gap = rng.uniform(0.2, duration / max(max_ops, 1))
+        if kind == "add_device":
+            args = _gen_add_device(rng, state)
+            emit("add_device", args, gap)
+        elif kind in ("start_dhcp", "permit", "deny", "release", "ping"):
+            device = rng.choice(state.devices)
+            if kind == "start_dhcp" and device not in state.started:
+                state.started.append(device)
+            emit(kind, {"device": device}, gap)
+        elif kind == "dns_lookup":
+            emit(
+                kind,
+                {"device": rng.choice(state.devices), "name": rng.choice(ZONE_NAMES)},
+                gap,
+            )
+        elif kind == "tcp_flow":
+            emit(
+                kind,
+                {
+                    "device": rng.choice(state.devices),
+                    "name": rng.choice(ZONE_NAMES),
+                    "nbytes": rng.choice((256, 2048, 16384)),
+                },
+                gap,
+            )
+        elif kind == "udp_flow":
+            emit(
+                kind,
+                {"device": rng.choice(state.devices), "port": rng.randrange(1024, 40000)},
+                gap,
+            )
+        elif kind == "policy_install":
+            slot = state.next_policy_slot
+            state.next_policy_slot += 1
+            state.active_slots.append(slot)
+            emit(kind, {"slot": slot, "document": _gen_policy_doc(rng, state, slot)}, gap)
+        elif kind == "policy_remove":
+            if not state.active_slots:
+                continue
+            slot = rng.choice(state.active_slots)
+            state.active_slots.remove(slot)
+            emit(kind, {"slot": slot}, gap)
+        elif kind == "usb_insert":
+            label = f"usb{state.next_key}"
+            state.next_key += 1
+            state.inserted_labels.append(label)
+            if state.gated_key_ids and rng.random() < 0.7:
+                args = {
+                    "label": label,
+                    "key_kind": "unlock",
+                    "key_id": rng.choice(state.gated_key_ids),
+                }
+            else:
+                slot = state.next_policy_slot
+                state.next_policy_slot += 1
+                args = {
+                    "label": label,
+                    "key_kind": "policy",
+                    "key_id": f"carry{label}",
+                    "document": _gen_policy_doc(rng, state, slot),
+                }
+            emit(kind, args, gap)
+        elif kind == "usb_remove":
+            if not state.inserted_labels:
+                continue
+            label = rng.choice(state.inserted_labels)
+            state.inserted_labels.remove(label)
+            emit(kind, {"label": label}, gap)
+        elif kind == "link_fault":
+            emit(
+                kind,
+                {
+                    "device": rng.choice(state.devices),
+                    "drop": round(rng.uniform(0.05, 0.6), 3),
+                    "duplicate": round(rng.uniform(0.0, 0.2), 3),
+                    "reorder": round(rng.uniform(0.0, 0.3), 3),
+                    "delay": round(rng.uniform(0.001, 0.05), 4),
+                    "duration": round(rng.uniform(2.0, 12.0), 3),
+                },
+                gap,
+            )
+        elif kind == "channel_down":
+            emit(kind, {"duration": round(rng.uniform(0.5, 4.0), 3)}, gap)
+        elif kind == "time_warp":
+            emit(kind, {"delta": round(rng.uniform(5.0, float(lease) * 1.5), 3)}, gap)
+        elif kind == "hwdb_pressure":
+            emit(kind, {"rows": rng.randrange(50, 400)}, gap)
+
+    return Scenario(seed=seed, config=config, ops=ops, duration=max(duration, t + 30.0))

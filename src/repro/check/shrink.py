@@ -1,0 +1,93 @@
+"""Greedy scenario shrinking (delta debugging, ddmin-style).
+
+Given a scenario whose run violated an invariant, repeatedly delete
+chunks of operations and re-run; a deletion is kept when the *same*
+invariant still fires.  Chunk size halves from len/2 down to single
+operations, so the result is 1-minimal up to the run budget: removing
+any single remaining operation makes the failure disappear (or the
+budget ran out — the partial shrink is still a valid reproduction).
+
+Operation times are preserved verbatim — deleting an op leaves a quiet
+gap, which the runner handles naturally.  Ops referencing deleted
+prerequisites (a device that is never added) degrade to deterministic
+skips inside the runner, so every subset is a well-defined scenario.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import List, Optional
+
+from .runner import RunResult, ScenarioRunner
+from .scenario import Op, Scenario
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_MAX_RUNS = 120
+
+
+class ShrinkResult:
+    """The minimized scenario plus bookkeeping about the search."""
+
+    __slots__ = ("scenario", "result", "runs", "removed")
+
+    def __init__(self, scenario: Scenario, result: RunResult, runs: int, removed: int):
+        self.scenario = scenario
+        self.result = result
+        self.runs = runs
+        self.removed = removed
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    invariant: str,
+    max_runs: int = DEFAULT_MAX_RUNS,
+) -> ShrinkResult:
+    """Minimize ``scenario`` while ``invariant`` keeps firing."""
+    ops: List[Op] = list(scenario.ops)
+    original = len(ops)
+    runs = 0
+    # The last failing result seen; re-established on every kept deletion.
+    best: Optional[RunResult] = None
+
+    def fails(candidate: List[Op]) -> Optional[RunResult]:
+        nonlocal runs
+        if runs >= max_runs:
+            return None
+        runs += 1
+        result = ScenarioRunner(scenario.replace_ops(candidate)).run()
+        if result.violation is not None and result.violation.invariant == invariant:
+            return result
+        return None
+
+    chunk = max(len(ops) // 2, 1)
+    while True:
+        index = 0
+        while index < len(ops):
+            candidate = ops[:index] + ops[index + chunk :]
+            if not candidate:
+                index += chunk
+                continue
+            result = fails(candidate)
+            if result is not None:
+                ops = candidate
+                best = result
+            else:
+                index += chunk
+        if chunk == 1 or runs >= max_runs:
+            break
+        chunk = max(chunk // 2, 1)
+
+    if best is None:
+        # Nothing could be removed (or budget 0): re-run the original to
+        # hand back a result consistent with the returned scenario.
+        best = ScenarioRunner(scenario.replace_ops(ops)).run()
+    minimized = scenario.replace_ops(ops)
+    logger.debug(
+        "shrunk scenario seed=%d from %d to %d ops in %d runs",
+        scenario.seed,
+        original,
+        len(ops),
+        runs,
+    )
+    return ShrinkResult(minimized, best, runs, original - len(ops))

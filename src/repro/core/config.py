@@ -32,6 +32,7 @@ class RouterConfig:
         control_api_port: int = 8080,
         control_api_token: str = "homework",
         nat_enabled: bool = False,
+        nat_idle_timeout: float = 300.0,
         metrics_flush_interval: float = 5.0,
     ):
         self.subnet = subnet if isinstance(subnet, IPv4Network) else IPv4Network(subnet)
@@ -70,6 +71,9 @@ class RouterConfig:
         self.control_api_port = int(control_api_port)
         self.control_api_token = str(control_api_token)
         self.nat_enabled = bool(nat_enabled)
+        if nat_idle_timeout <= 0:
+            raise ConfigError("nat_idle_timeout must be positive")
+        self.nat_idle_timeout = float(nat_idle_timeout)
         if metrics_flush_interval <= 0:
             raise ConfigError("metrics_flush_interval must be positive")
         self.metrics_flush_interval = float(metrics_flush_interval)

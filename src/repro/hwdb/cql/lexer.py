@@ -92,6 +92,16 @@ def tokenize(text: str) -> List[Token]:
                         break
                     seen_dot = True
                 i += 1
+            # Scientific notation ('2.5e-05'): repr() of a small float
+            # emits it, so unparse output must lex back.
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    while j < n and text[j].isdigit():
+                        j += 1
+                    i = j
             tokens.append(Token("number", text[start:i], start))
             continue
         if ch.isalpha() or ch == "_":

@@ -30,6 +30,8 @@ class SecureChannel:
         self.to_controller_count = 0
         self.to_switch_count = 0
         self.connected = False
+        self.disconnects = 0
+        self.reconnects = 0
 
     def connect(self, datapath: "Datapath", controller_sink: ControllerSink) -> None:
         """Wire both ends and exchange Hello messages."""
@@ -41,7 +43,24 @@ class SecureChannel:
         self.to_switch(Hello())
 
     def disconnect(self) -> None:
+        """Drop the connection; in-flight and future messages are lost."""
+        if self.connected:
+            self.disconnects += 1
         self.connected = False
+
+    def reconnect(self) -> None:
+        """Re-establish a dropped connection (new Hello exchange).
+
+        Models the switch's reconnect loop after a controller restart:
+        messages lost while down stay lost, so reactive state (pending
+        packet-ins) must be re-driven by retransmissions from the hosts.
+        """
+        if self.connected or self.datapath is None or self._controller_sink is None:
+            return
+        self.connected = True
+        self.reconnects += 1
+        self.to_controller(Hello())
+        self.to_switch(Hello())
 
     def to_controller(self, msg: OpenFlowMessage) -> None:
         """Switch → controller delivery after one channel latency."""

@@ -185,6 +185,12 @@ class ControlApi(Component):
 
     def _permit(self, request: HttpRequest, mac: str) -> HttpResponse:
         record = self.dhcp.policy.permit(mac, self.now)
+        # Policies outrank the control UI: if an installed document denies
+        # this device, re-enforcement reasserts the denial right away
+        # instead of leaving a permit window until the next sweep.
+        if self.policy_engine is not None:
+            self.policy_engine.enforce(self.now)
+            record = self.dhcp.policy.get(mac) or record
         self.bus.emit("control.device.permitted", timestamp=self.now, mac=str(record.mac))
         return json_response(record.to_dict())
 

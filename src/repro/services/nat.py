@@ -14,7 +14,7 @@ port mapping (echo id is preserved well enough for the simulator).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import ServiceError
 from ..net.addresses import IPv4Address
@@ -26,7 +26,14 @@ PrivateKey = Tuple[int, IPv4Address, int]
 class NatBinding:
     """One active translation."""
 
-    __slots__ = ("proto", "device_ip", "device_port", "external_port", "created_at")
+    __slots__ = (
+        "proto",
+        "device_ip",
+        "device_port",
+        "external_port",
+        "created_at",
+        "last_used",
+    )
 
     def __init__(
         self,
@@ -41,6 +48,7 @@ class NatBinding:
         self.device_port = device_port
         self.external_port = external_port
         self.created_at = created_at
+        self.last_used = created_at
 
     def __repr__(self) -> str:
         return (
@@ -49,26 +57,42 @@ class NatBinding:
         )
 
 
+#: Default idle lifetime of a binding, seconds of simulated time.  Real
+#: home routers keep UDP conntrack entries for minutes, TCP for hours;
+#: one shared value is enough for the reproduction's flow timescales.
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+
 class NatTable:
     """Port-mapping state for source NAT.
 
     External ports are allocated from ``port_range`` per protocol;
     existing bindings are reused so one device flow keeps its mapping.
+    Bindings expire after ``idle_timeout`` seconds without traffic
+    (:meth:`expire_due` — the router sweeps this periodically); the
+    allocator's round-robin next-port pointer keeps freshly released
+    ports out of circulation for as long as possible so late packets to
+    an expired binding are not mis-delivered to a new flow.
     """
 
     def __init__(
         self,
         external_ip: IPv4Address,
         port_range: Tuple[int, int] = (32768, 65535),
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
     ):
         self.external_ip = IPv4Address(external_ip)
         self.port_lo, self.port_hi = port_range
         if not (0 < self.port_lo < self.port_hi <= 65535):
             raise ServiceError(f"bad NAT port range {port_range}")
+        if idle_timeout <= 0:
+            raise ServiceError(f"NAT idle_timeout must be positive: {idle_timeout}")
+        self.idle_timeout = float(idle_timeout)
         self._by_private: Dict[PrivateKey, NatBinding] = {}
         self._by_external: Dict[Tuple[int, int], NatBinding] = {}
         self._next_port: Dict[int, int] = {}
         self.allocations = 0
+        self.expirations = 0
 
     def bind(
         self, proto: int, device_ip, device_port: int, now: float
@@ -78,6 +102,7 @@ class NatTable:
         key: PrivateKey = (proto, device_ip, device_port)
         binding = self._by_private.get(key)
         if binding is not None:
+            binding.last_used = now
             return binding
         external_port = self._allocate_port(proto)
         binding = NatBinding(proto, device_ip, device_port, external_port, now)
@@ -96,12 +121,33 @@ class NatTable:
             port = port + 1 if port < self.port_hi else self.port_lo
         raise ServiceError(f"NAT port range exhausted for proto {proto}")
 
-    def lookup_external(self, proto: int, external_port: int) -> Optional[NatBinding]:
-        """De-translate: which device owns this external port?"""
-        return self._by_external.get((proto, external_port))
+    def lookup_external(
+        self, proto: int, external_port: int, now: Optional[float] = None
+    ) -> Optional[NatBinding]:
+        """De-translate: which device owns this external port?
+
+        Passing ``now`` refreshes the binding's idle timer — return
+        traffic keeps a mapping alive just like outbound traffic does.
+        """
+        binding = self._by_external.get((proto, external_port))
+        if binding is not None and now is not None:
+            binding.last_used = now
+        return binding
 
     def lookup_private(self, proto: int, device_ip, device_port: int) -> Optional[NatBinding]:
         return self._by_private.get((proto, IPv4Address(device_ip), device_port))
+
+    def expire_due(self, now: float) -> List[NatBinding]:
+        """Release bindings idle longer than ``idle_timeout``; returns them."""
+        stale = [
+            binding
+            for binding in self._by_private.values()
+            if now - binding.last_used >= self.idle_timeout
+        ]
+        for binding in stale:
+            self.release(binding.proto, binding.external_port)
+        self.expirations += len(stale)
+        return stale
 
     def release(self, proto: int, external_port: int) -> None:
         binding = self._by_external.pop((proto, external_port), None)

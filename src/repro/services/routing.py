@@ -80,7 +80,9 @@ class RouterCore(Component):
         self.mac_to_port: Dict[MACAddress, int] = {}
         self.router_upstream_ip = IPv4Address(config.upstream_ip) + 1
         self.nat: Optional[NatTable] = (
-            NatTable(self.router_upstream_ip) if config.nat_enabled else None
+            NatTable(self.router_upstream_ip, idle_timeout=config.nat_idle_timeout)
+            if config.nat_enabled
+            else None
         )
 
         self.arp_replies = 0
@@ -88,12 +90,30 @@ class RouterCore(Component):
         self.flows_blocked = 0
         self.echo_replies = 0
         self.drops = 0
+        self._nat_sweep_timer = None
 
     def install(self) -> None:
         # Learning runs first (and never consumes) so device ports are
         # known even when another component (DHCP, DNS) eats the event.
         self.register_handler(EV_PACKET_IN, self.learn_port, priority=1)
         self.register_handler(EV_PACKET_IN, self.handle_packet_in, priority=100)
+        if self.nat is not None:
+            # Conntrack-style garbage collection: idle bindings would
+            # otherwise pin external ports forever and exhaust the range.
+            self._nat_sweep_timer = self.sim.schedule_periodic(
+                self.nat.idle_timeout / 2, self._sweep_nat
+            )
+
+    def uninstall(self) -> None:
+        super().uninstall()
+        if self._nat_sweep_timer is not None:
+            self._nat_sweep_timer.cancel()
+            self._nat_sweep_timer = None
+
+    def _sweep_nat(self) -> None:
+        assert self.nat is not None
+        for binding in self.nat.expire_due(self.now):
+            logger.debug("NAT binding expired: %r", binding)
 
     def learn_port(self, msg: PacketIn) -> int:
         key = extract_key(msg.data, msg.in_port)
@@ -300,7 +320,7 @@ class RouterCore(Component):
             and key.nw_dst == self.nat.external_ip
             and key.nw_proto in (PROTO_TCP, PROTO_UDP)
         ):
-            binding = self.nat.lookup_external(key.nw_proto, key.tp_dst or 0)
+            binding = self.nat.lookup_external(key.nw_proto, key.tp_dst or 0, self.now)
             if binding is not None:
                 lease = self.dhcp.leases.by_ip(binding.device_ip)
                 device_port = (

@@ -198,7 +198,11 @@ class Host:
         self._dhcp_xid = 0
         self._dhcp_server: Optional[IPv4Address] = None
         self._lease_time: float = 0.0
+        self._lease_expires_at: float = 0.0
         self._renew_event = None
+        self._dhcp_retry_timer = None
+        self._dhcp_retry_interval: float = 5.0
+        self.dhcp_active = False
         self.on_lease: Optional[Callable[["Host"], None]] = None
         self.dhcp_nak_count = 0
         self.dhcp_offer_count = 0
@@ -347,6 +351,12 @@ class Host:
             udp = ip.find(UDP)
             if udp is not None:
                 self._handle_udp(udp, ip.src)
+        elif self.ip is None:
+            # No address (lease lost mid-conversation): TCP and ICMP both
+            # answer with transmissions we cannot source.  A real stack
+            # drops late segments for a deconfigured interface; only UDP
+            # stays open above, since DHCP rides it to get us an address.
+            return
         elif ip.proto == PROTO_TCP:
             tcp = ip.find(TCP)
             if tcp is not None:
@@ -408,10 +418,15 @@ class Host:
         the behaviour the paper's control UI relies on: a pending device
         keeps knocking until the user permits it.
         """
+        self.dhcp_active = True
+        self._dhcp_retry_interval = retry_interval
         self.dhcp_state = DHCP_SELECTING
         self._dhcp_xid = self.sim.random.randrange(1, 0xFFFFFFFF)
         discover = DHCPMessage.discover(self.mac, self._dhcp_xid, hostname=self.name)
         self._broadcast_dhcp(discover)
+        if self._dhcp_retry_timer is not None:
+            self._dhcp_retry_timer.cancel()
+            self._dhcp_retry_timer = None
         if retry_interval > 0:
             self._dhcp_retry_timer = self.sim.schedule(
                 retry_interval, lambda: self._dhcp_retry(retry_interval)
@@ -459,6 +474,7 @@ class Host:
             self.dns_server = IPv4Address(dns[:4]) if dns else None
             lease = msg.options.get(OPT_LEASE_TIME)
             self._lease_time = float(int.from_bytes(lease, "big")) if lease else 3600.0
+            self._lease_expires_at = self.sim.now + self._lease_time
             self.dhcp_state = DHCP_BOUND
             self._schedule_renewal()
             if self.on_lease:
@@ -467,6 +483,14 @@ class Host:
             self.dhcp_nak_count += 1
             self.ip = None
             self.dhcp_state = DHCP_INIT
+            if self._renew_event is not None:
+                self._renew_event.cancel()
+                self._renew_event = None
+            # Re-enter discovery: a NAK while bound/renewing must not
+            # strand the client with no pending timer (the old retry
+            # chain died the moment we first bound).
+            if self._dhcp_retry_interval > 0:
+                self.start_dhcp(self._dhcp_retry_interval)
 
     def _schedule_renewal(self) -> None:
         if self._renew_event is not None:
@@ -475,7 +499,15 @@ class Host:
         self._renew_event = self.sim.schedule(self._lease_time / 2, self._renew)
 
     def _renew(self) -> None:
-        if self.dhcp_state != DHCP_BOUND or self.ip is None:
+        if self.dhcp_state not in (DHCP_BOUND, DHCP_RENEWING) or self.ip is None:
+            return
+        if self.sim.now >= self._lease_expires_at:
+            # Every renewal attempt went unanswered and the lease has
+            # now lapsed: fall back to a fresh DISCOVER cycle.
+            self.ip = None
+            self.dhcp_state = DHCP_INIT
+            if self._dhcp_retry_interval > 0:
+                self.start_dhcp(self._dhcp_retry_interval)
             return
         self.dhcp_state = DHCP_RENEWING
         request = DHCPMessage.request(
@@ -486,9 +518,16 @@ class Host:
             hostname=self.name,
         )
         self._broadcast_dhcp(request)
+        # A lost REQUEST must not strand us in RENEWING: retry at half
+        # the remaining lease time (RFC 2131's T1/T2 backoff, squashed).
+        delay = max((self._lease_expires_at - self.sim.now) / 2, 1.0)
+        if self._renew_event is not None:
+            self._renew_event.cancel()
+        self._renew_event = self.sim.schedule(delay, self._renew)
 
     def release_dhcp(self) -> None:
         """Send DHCPRELEASE and forget the address."""
+        self.dhcp_active = False
         if self.ip is None or self._dhcp_server is None:
             return
         release = DHCPMessage.release(
@@ -500,6 +539,21 @@ class Host:
         if self._renew_event is not None:
             self._renew_event.cancel()
             self._renew_event = None
+        if self._dhcp_retry_timer is not None:
+            self._dhcp_retry_timer.cancel()
+            self._dhcp_retry_timer = None
+
+    def dhcp_timer_pending(self, now: float) -> bool:
+        """True if a future DHCP wakeup (retry or renewal) is scheduled.
+
+        The liveness property the fuzzer checks: an active client that is
+        not parked by choice always has some timer that will eventually
+        fire, so it can never be stranded by a single lost packet.
+        """
+        for event in (self._dhcp_retry_timer, self._renew_event):
+            if event is not None and not event.cancelled and event.when > now:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # DNS stub resolver

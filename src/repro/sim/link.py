@@ -50,6 +50,12 @@ class Link:
         self.frames_dropped = 0
         # Track per-direction busy-until time so back-to-back frames queue.
         self._busy_until = {id(a): 0.0, id(b): 0.0}
+        # Optional fault-injection hook (repro.check): when set, every
+        # transmission asks the fault for a delivery plan — a sequence of
+        # extra-latency offsets.  () drops the frame, (0.0,) is a normal
+        # delivery, (0.0, 0.0) duplicates, (delta,) reorders past frames
+        # queued behind it.
+        self.fault = None
 
     def peer(self, port: Port) -> Port:
         if port is self.a:
@@ -61,16 +67,27 @@ class Link:
     def _serialization_delay(self, frame: bytes) -> float:
         return len(frame) * 8.0 / self.bandwidth_bps
 
+    def _delivery_plan(self, frame: bytes):
+        """Extra-latency offsets for each copy to deliver (fault hook)."""
+        if self.fault is None:
+            return (0.0,)
+        return self.fault.plan(self.sim, frame)
+
     def transmit(self, from_port: Port, frame: bytes) -> None:
         """Schedule delivery of ``frame`` at the far end."""
         destination = self.peer(from_port)
+        plan = self._delivery_plan(frame)
+        if not plan:
+            self.frames_dropped += 1
+            return
         start = max(self.sim.now, self._busy_until[id(from_port)])
         done = start + self._serialization_delay(frame)
         self._busy_until[id(from_port)] = done
-        arrival = done + self.latency
         self.frames_carried += 1
         self.bytes_carried += len(frame)
-        self.sim.schedule_at(arrival, lambda: destination.deliver(frame))
+        for extra in plan:
+            arrival = done + self.latency + extra
+            self.sim.schedule_at(arrival, lambda: destination.deliver(frame))
 
     def __repr__(self) -> str:
         return f"Link({self.a.name} <-> {self.b.name})"
@@ -136,13 +153,18 @@ class WirelessLink(Link):
         if attempts > self.max_retries:
             self.frames_dropped += 1
             return
+        plan = self._delivery_plan(frame)
+        if not plan:
+            self.frames_dropped += 1
+            return
         start = max(self.sim.now, self._busy_until[id(from_port)])
         done = start + attempts * self._serialization_delay(frame)
         self._busy_until[id(from_port)] = done
-        arrival = done + self.latency
         self.frames_carried += 1
         self.bytes_carried += len(frame)
-        self.sim.schedule_at(arrival, lambda: destination.deliver(frame))
+        for extra in plan:
+            arrival = done + self.latency + extra
+            self.sim.schedule_at(arrival, lambda: destination.deliver(frame))
 
     def __repr__(self) -> str:
         return (

@@ -6,6 +6,10 @@ import pytest
 
 from repro import HomeworkRouter, RouterConfig, Simulator
 
+from tests.helpers import join_device, make_router  # noqa: F401 - re-export
+
+__all__ = ["join_device"]
+
 
 @pytest.fixture
 def sim() -> Simulator:
@@ -26,19 +30,6 @@ def permissive_router(sim: Simulator) -> HomeworkRouter:
     r = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
     r.start()
     return r
-
-
-def join_device(router: HomeworkRouter, name: str, mac: str, **kwargs):
-    """Attach a device, run DHCP to completion, return the bound host."""
-    host = router.add_device(name, mac, **kwargs)
-    router.sim.run_for(0.1)
-    host.start_dhcp()
-    router.sim.run_for(0.5)
-    if host.ip is None:
-        router.permit(host)
-        router.sim.run_for(6.0)
-    assert host.ip is not None, f"{name} failed to get a lease"
-    return host
 
 
 @pytest.fixture

@@ -1,0 +1,47 @@
+"""Shared builders for router-level tests.
+
+The same three lines — make a seeded simulator, wire a router, start it —
+were repeated across the integration, DHCP and soak suites, each with its
+own join-and-bind dance.  They live here once; ``conftest.py`` re-exports
+``join_device`` so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+
+
+def make_router(
+    seed: int = 1234,
+    config: Optional[RouterConfig] = None,
+    start: bool = True,
+) -> Tuple[Simulator, HomeworkRouter]:
+    """A seeded simulator with a fully wired (and started) router."""
+    sim = Simulator(seed=seed)
+    router = HomeworkRouter(sim, config=config) if config else HomeworkRouter(sim)
+    if start:
+        router.start()
+    return sim, router
+
+
+def make_permissive_router(
+    seed: int = 1234, **config_kwargs
+) -> Tuple[Simulator, HomeworkRouter]:
+    """A started router that hands leases to unknown devices."""
+    config = RouterConfig(default_permit=True, **config_kwargs)
+    return make_router(seed=seed, config=config)
+
+
+def join_device(router: HomeworkRouter, name: str, mac: str, **kwargs):
+    """Attach a device, run DHCP to completion, return the bound host."""
+    host = router.add_device(name, mac, **kwargs)
+    router.sim.run_for(0.1)
+    host.start_dhcp()
+    router.sim.run_for(0.5)
+    if host.ip is None:
+        router.permit(host)
+        router.sim.run_for(6.0)
+    assert host.ip is not None, f"{name} failed to get a lease"
+    return host

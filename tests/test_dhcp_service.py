@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro import HomeworkRouter, RouterConfig, Simulator
+from repro import RouterConfig, Simulator
 from repro.core.errors import ServiceError
 from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
 from repro.services.dhcp.leases import LeaseDatabase, STATE_BOUND, STATE_RELEASED
 from repro.services.dhcp.policy import DENIED, DevicePolicyStore, PENDING, PERMITTED
 from repro.services.dhcp.pool import FlatPool, IsolatingPool
 
-from tests.conftest import join_device
+from tests.helpers import join_device, make_permissive_router, make_router
 
 
 class TestIsolatingPool:
@@ -209,9 +209,7 @@ class TestDhcpServerIntegration:
     """The server component exercised over real packets through the router."""
 
     def test_pending_device_withheld(self):
-        sim = Simulator(seed=21)
-        router = HomeworkRouter(sim)
-        router.start()
+        sim, router = make_router(seed=21)
         host = router.add_device("newbie", "02:aa:00:00:00:01")
         host.start_dhcp(retry_interval=0)
         sim.run_for(2.0)
@@ -220,9 +218,7 @@ class TestDhcpServerIntegration:
         assert router.dhcp.policy.state_of(host.mac) == PENDING
 
     def test_permit_then_full_handshake(self):
-        sim = Simulator(seed=22)
-        router = HomeworkRouter(sim)
-        router.start()
+        sim, router = make_router(seed=22)
         host = router.add_device("laptop", "02:aa:00:00:00:01")
         host.start_dhcp()
         sim.run_for(1.0)
@@ -237,9 +233,7 @@ class TestDhcpServerIntegration:
         assert lease.ip == host.ip
 
     def test_isolating_options(self):
-        sim = Simulator(seed=23)
-        router = HomeworkRouter(sim)
-        router.start()
+        sim, router = make_router(seed=23)
         host = join_device(router, "laptop", "02:aa:00:00:00:01")
         # /30 netmask, gateway is the router side of the device's /30.
         assert host.netmask == IPv4Address("255.255.255.252")
@@ -247,9 +241,7 @@ class TestDhcpServerIntegration:
         assert host.dns_server == host.gateway
 
     def test_denied_device_naks_on_request(self):
-        sim = Simulator(seed=24)
-        router = HomeworkRouter(sim)
-        router.start()
+        sim, router = make_router(seed=24)
         host = join_device(router, "laptop", "02:aa:00:00:00:01")
         assert host.ip is not None
         router.deny(host)
@@ -261,10 +253,7 @@ class TestDhcpServerIntegration:
         assert host.ip is None  # client dropped the address
 
     def test_renewal_keeps_address(self):
-        sim = Simulator(seed=25)
-        config = RouterConfig(lease_time=10.0, default_permit=True)
-        router = HomeworkRouter(sim, config=config)
-        router.start()
+        sim, router = make_router(seed=25, config=RouterConfig(lease_time=10.0, default_permit=True))
         host = router.add_device("laptop", "02:aa:00:00:00:01")
         host.start_dhcp()
         sim.run_for(1.0)
@@ -277,9 +266,7 @@ class TestDhcpServerIntegration:
         assert lease.active(sim.now)
 
     def test_release_revokes(self):
-        sim = Simulator(seed=26)
-        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
-        router.start()
+        sim, router = make_permissive_router(seed=26)
         host = router.add_device("laptop", "02:aa:00:00:00:01")
         host.start_dhcp()
         sim.run_for(1.0)
@@ -291,10 +278,7 @@ class TestDhcpServerIntegration:
         assert events[0].reason == "released"
 
     def test_expiry_emits_revoked(self):
-        sim = Simulator(seed=27)
-        config = RouterConfig(lease_time=5.0, default_permit=True)
-        router = HomeworkRouter(sim, config=config)
-        router.start()
+        sim, router = make_router(seed=27, config=RouterConfig(lease_time=5.0, default_permit=True))
         host = router.add_device("laptop", "02:aa:00:00:00:01")
         host.start_dhcp(retry_interval=0)
         sim.run_for(1.0)
@@ -307,9 +291,7 @@ class TestDhcpServerIntegration:
         assert any(e.reason == "expired" for e in events)
 
     def test_lease_events_reach_hwdb(self):
-        sim = Simulator(seed=28)
-        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
-        router.start()
+        sim, router = make_permissive_router(seed=28)
         host = router.add_device("laptop", "02:aa:00:00:00:01")
         host.start_dhcp()
         sim.run_for(2.0)

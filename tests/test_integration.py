@@ -8,7 +8,7 @@ policy changes biting live traffic.
 
 import pytest
 
-from repro import HomeworkRouter, RouterConfig, Simulator
+from repro import RouterConfig
 from repro.hwdb.persist import MemorySink
 from repro.policy.cartoon import CartoonStrip
 from repro.services.udev.usbkey import UsbKey
@@ -18,16 +18,14 @@ from repro.ui.bandwidth_view import BandwidthView
 from repro.ui.control_ui import ControlInterface
 from repro.ui.policy_ui import PolicyInterface
 
-from tests.conftest import join_device
+from tests.helpers import join_device, make_permissive_router, make_router
 
 
 class TestHouseholdScenario:
     """A morning in the Homework house."""
 
     def test_full_day_in_the_life(self):
-        sim = Simulator(seed=101)
-        router = HomeworkRouter(sim)
-        router.start()
+        sim, router = make_router(seed=101)
         control = ControlInterface(router.control_api, router.bus)
 
         # 1. Three devices arrive; none can join yet (default deny).
@@ -97,9 +95,7 @@ class TestHouseholdScenario:
         assert stats["hwdb"]["inserts"] > 0
 
     def test_denied_device_fully_cut_off(self):
-        sim = Simulator(seed=102)
-        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
-        router.start()
+        sim, router = make_permissive_router(seed=102)
         laptop = join_device(router, "laptop", "02:aa:00:00:00:01")
         # Working traffic first.
         done = []
@@ -115,9 +111,7 @@ class TestHouseholdScenario:
         assert silent == []
 
     def test_hwdb_subscription_drives_ui_live(self):
-        sim = Simulator(seed=103)
-        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
-        router.start()
+        sim, router = make_permissive_router(seed=103)
         laptop = join_device(router, "laptop", "02:aa:00:00:00:01")
         client = router.hwdb_client()
         sink = MemorySink()
@@ -134,9 +128,7 @@ class TestHouseholdScenario:
         assert any(row[1] > 0 for row in sink.all_rows())
 
     def test_artifact_sees_join_events_live(self):
-        sim = Simulator(seed=104)
-        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
-        router.start()
+        sim, router = make_permissive_router(seed=104)
         artifact = NetworkArtifact(
             sim, router.bus, router.aggregator, radio=router.radio, db=router.db
         )
@@ -149,9 +141,7 @@ class TestHouseholdScenario:
         assert "green" in labels
 
     def test_wireless_device_works_through_full_stack(self):
-        sim = Simulator(seed=105)
-        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
-        router.start()
+        sim, router = make_permissive_router(seed=105)
         tablet = join_device(
             router, "tablet", "02:aa:00:00:00:08", wireless=True, position=(6, 4)
         )
@@ -166,12 +156,8 @@ class TestHouseholdScenario:
 
     def test_two_routers_independent(self):
         """Two households in one process do not interfere."""
-        sim_a = Simulator(seed=106)
-        sim_b = Simulator(seed=107)
-        router_a = HomeworkRouter(sim_a, config=RouterConfig(default_permit=True))
-        router_b = HomeworkRouter(sim_b, config=RouterConfig(default_permit=True))
-        router_a.start()
-        router_b.start()
+        sim_a, router_a = make_permissive_router(seed=106)
+        sim_b, router_b = make_permissive_router(seed=107)
         host_a = join_device(router_a, "a", "02:aa:00:00:00:01")
         host_b = join_device(router_b, "b", "02:aa:00:00:00:01")  # same MAC, other house
         assert host_a.ip is not None and host_b.ip is not None
@@ -179,11 +165,7 @@ class TestHouseholdScenario:
         assert len(router_b.dhcp.leases) == 1
 
     def test_lease_churn_visible_in_hwdb(self):
-        sim = Simulator(seed=108)
-        router = HomeworkRouter(
-            sim, config=RouterConfig(default_permit=True, lease_time=8.0)
-        )
-        router.start()
+        sim, router = make_permissive_router(seed=108, lease_time=8.0)
         laptop = join_device(router, "laptop", "02:aa:00:00:00:01")
         sim.run_for(30.0)  # several renewals
         renewed = router.db.query(
@@ -192,9 +174,7 @@ class TestHouseholdScenario:
         assert renewed >= 2
 
     def test_stats_snapshot_shape(self):
-        sim = Simulator(seed=109)
-        router = HomeworkRouter(sim)
-        router.start()
+        sim, router = make_router(seed=109)
         stats = router.stats()
         for section in ("datapath", "dhcp", "dns", "routing", "hwdb"):
             assert section in stats

@@ -1,9 +1,23 @@
 """Cross-cutting property-based tests on core invariants."""
 
+import io
+
 from hypothesis import given, settings, strategies as st
 
+from repro.hwdb.cql import parse, unparse
 from repro.net import ETH_TYPE_IPV4, Ethernet, IPv4, IPv4Address, MACAddress, TCP, UDP
+from repro.net.dhcp_msg import BOOTREPLY, BOOTREQUEST, DHCPMessage
+from repro.net.dns_msg import (
+    DNSMessage,
+    DNSQuestion,
+    DNSRecord,
+    TYPE_A,
+    TYPE_CNAME,
+    TYPE_PTR,
+    TYPE_TXT,
+)
 from repro.net.ipv4 import PROTO_TCP, PROTO_UDP
+from repro.net.pcap import PcapWriter, read_all
 from repro.openflow.actions import output
 from repro.openflow.flow_table import FlowEntry, FlowTable, _covers
 from repro.openflow.match import FlowKey, Match
@@ -229,3 +243,176 @@ class TestSimulatorProperties:
         assert len(fired) == len(delays)
         for fired_at, delay in fired:
             assert fired_at == delay
+
+
+# ----------------------------------------------------------------------
+# Round-trips: parse/unparse, write/read, encode/decode
+# ----------------------------------------------------------------------
+
+from repro.hwdb.cql import AGGREGATE_FUNCTIONS, SCALAR_FUNCTIONS
+from repro.hwdb.cql.lexer import KEYWORDS
+
+_CQL_RESERVED = KEYWORDS | AGGREGATE_FUNCTIONS | SCALAR_FUNCTIONS
+
+_idents = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+).filter(lambda s: s not in _CQL_RESERVED)
+_literal_texts = st.one_of(
+    # Non-negative: the grammar has no unary minus in expressions.
+    st.integers(min_value=0, max_value=1000).map(str),
+    # Fixed-point only: the lexer has no scientific notation.
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False).map(
+        lambda f: format(f, ".6f")
+    ),
+    st.sampled_from(["'tv'", "'a''b'", "NULL", "TRUE", "FALSE"]),
+)
+
+
+@st.composite
+def cql_queries(draw):
+    """Random-but-valid CQL SELECT text, assembled from grammar pieces."""
+    table = draw(_idents)
+    window = draw(
+        st.sampled_from(["", " [NOW]", " [ROWS 5]", " [RANGE 2.5 SECONDS]"])
+    )
+    if draw(st.booleans()):
+        projection = "*"
+    else:
+        parts = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            expr = draw(
+                st.one_of(
+                    _idents,
+                    _idents.map(lambda c: f"count({c})"),
+                    _idents.map(lambda c: f"sum({c})"),
+                    _literal_texts,
+                )
+            )
+            if draw(st.booleans()):
+                expr += f" AS {draw(_idents)}"
+            parts.append(expr)
+        projection = ", ".join(parts)
+    text = f"SELECT {projection} FROM {table}{window}"
+    if draw(st.booleans()):
+        column, literal = draw(_idents), draw(_literal_texts)
+        op = draw(st.sampled_from(["=", "!=", "<", ">", "<=", ">="]))
+        text += f" WHERE {column} {op} {literal}"
+        if draw(st.booleans()):
+            text += f" AND {draw(_idents)} IN ({draw(_literal_texts)})"
+    if draw(st.booleans()):
+        text += f" GROUP BY {draw(_idents)}"
+    if draw(st.booleans()):
+        direction = draw(st.sampled_from(["ASC", "DESC"]))
+        text += f" ORDER BY {draw(_idents)} {direction}"
+    if draw(st.booleans()):
+        text += f" LIMIT {draw(st.integers(min_value=1, max_value=99))}"
+    return text
+
+
+class TestRoundTrips:
+    @settings(max_examples=100)
+    @given(cql_queries())
+    def test_cql_parse_unparse_fixpoint(self, query):
+        """unparse(parse(q)) is a fixpoint: one more round-trip is identity."""
+        normalised = unparse(parse(query))
+        assert unparse(parse(normalised)) == normalised
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.binary(min_size=1, max_size=200),
+            ),
+            max_size=20,
+        )
+    )
+    def test_pcap_write_read_equality(self, records):
+        stream = io.BytesIO()
+        writer = PcapWriter(stream)
+        for timestamp, frame in records:
+            writer.write(timestamp, frame)
+        stream.seek(0)
+        restored = read_all(stream)
+        assert [frame for _t, frame in restored] == [f for _t, f in records]
+        for (wrote_t, _), (read_t, _) in zip(records, restored):
+            assert abs(read_t - wrote_t) < 1e-5  # microsecond wire precision
+
+    @settings(max_examples=100)
+    @given(
+        op=st.sampled_from([BOOTREQUEST, BOOTREPLY]),
+        xid=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        mac=st.integers(min_value=1, max_value=(1 << 48) - 2).map(MACAddress),
+        addrs=st.tuples(*[st.integers(min_value=0, max_value=(1 << 32) - 1)] * 4),
+        secs=st.integers(min_value=0, max_value=0xFFFF),
+        flags=st.sampled_from([0, 0x8000]),
+        options=st.dictionaries(
+            st.integers(min_value=1, max_value=254),
+            st.binary(max_size=32),
+            max_size=5,
+        ),
+    )
+    def test_dhcp_encode_decode_identity(
+        self, op, xid, mac, addrs, secs, flags, options
+    ):
+        ciaddr, yiaddr, siaddr, giaddr = (IPv4Address(a) for a in addrs)
+        message = DHCPMessage(
+            op, xid, mac, ciaddr, yiaddr, siaddr, giaddr, secs, flags, options
+        )
+        decoded = DHCPMessage.unpack(message.pack())
+        assert decoded.op == op and decoded.xid == xid and decoded.chaddr == mac
+        assert (decoded.ciaddr, decoded.yiaddr) == (ciaddr, yiaddr)
+        assert (decoded.siaddr, decoded.giaddr) == (siaddr, giaddr)
+        assert (decoded.secs, decoded.flags) == (secs, flags)
+        assert decoded.options == options
+
+    @settings(max_examples=100)
+    @given(
+        ident=st.integers(min_value=0, max_value=0xFFFF),
+        is_response=st.booleans(),
+        rcode=st.integers(min_value=0, max_value=15),
+        names=st.lists(
+            st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,10}){0,3}", fullmatch=True),
+            min_size=1,
+            max_size=3,
+        ),
+        answer_kinds=st.lists(
+            st.sampled_from([TYPE_A, TYPE_CNAME, TYPE_PTR, TYPE_TXT]), max_size=4
+        ),
+        addr=st.integers(min_value=1, max_value=(1 << 32) - 2).map(IPv4Address),
+        ttl=st.integers(min_value=0, max_value=86400),
+    )
+    def test_dns_encode_decode_identity(
+        self, ident, is_response, rcode, names, answer_kinds, addr, ttl
+    ):
+        questions = [DNSQuestion(name) for name in names]
+        answers = []
+        for kind in answer_kinds:
+            if kind == TYPE_A:
+                answers.append(DNSRecord.a(names[0], addr, ttl))
+            elif kind == TYPE_CNAME:
+                answers.append(DNSRecord.cname(names[0], names[-1], ttl))
+            elif kind == TYPE_PTR:
+                answers.append(DNSRecord.ptr(addr, names[0], ttl))
+            else:
+                answers.append(DNSRecord(names[0], TYPE_TXT, b"v=1", ttl))
+        message = DNSMessage(
+            ident=ident,
+            is_response=is_response,
+            rcode=rcode,
+            questions=questions,
+            answers=answers,
+        )
+        decoded = DNSMessage.unpack(message.pack())
+        assert decoded.ident == ident
+        assert decoded.is_response == is_response
+        assert decoded.rcode == rcode
+        assert decoded.questions == questions
+        assert len(decoded.answers) == len(answers)
+        for got, sent in zip(decoded.answers, answers):
+            assert got.name == sent.name
+            assert got.rtype == sent.rtype
+            assert got.ttl == sent.ttl
+            assert got.rdata == sent.rdata

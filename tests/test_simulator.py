@@ -5,6 +5,8 @@ import pytest
 from repro.core.errors import SimulationError
 from repro.sim.simulator import Simulator
 
+from tests.helpers import make_router
+
 
 def test_schedule_runs_in_time_order():
     sim = Simulator()
@@ -161,6 +163,18 @@ def test_determinism_same_seed():
 
     assert run(7) == run(7)
     assert run(7) != run(8)
+
+
+def test_router_boot_deterministic():
+    """A whole router boot replays identically from the same seed — the
+    property the fuzzer's byte-identical trace hashes are built on."""
+
+    def boot(seed):
+        sim, router = make_router(seed=seed)
+        sim.run_until(5.0)
+        return (sim.now, sim.events_executed, repr(router.stats()))
+
+    assert boot(7) == boot(7)
 
 
 def test_events_executed_counter():

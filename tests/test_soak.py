@@ -6,20 +6,21 @@ back to empty when traffic stops, and the simulator stays healthy across
 hundreds of thousands of events.
 """
 
-from repro import RouterConfig, Simulator
-from repro.core.router import HomeworkRouter
+import pytest
+
 from repro.sim.traffic import MailSync, WebBrowsing
 
-from tests.conftest import join_device
+from tests.helpers import join_device, make_permissive_router
+
+pytestmark = pytest.mark.slow
 
 SOAK_SECONDS = 2 * 3600.0
 
 
 def test_two_hour_soak():
-    sim = Simulator(seed=999)
-    config = RouterConfig(default_permit=True, lease_time=600.0, hwdb_buffer_rows=2048)
-    router = HomeworkRouter(sim, config=config)
-    router.start()
+    sim, router = make_permissive_router(
+        seed=999, lease_time=600.0, hwdb_buffer_rows=2048
+    )
     laptop = join_device(router, "laptop", "02:aa:00:00:00:01")
     desk = join_device(router, "desk", "02:aa:00:00:00:02")
     web = WebBrowsing(laptop)
@@ -41,7 +42,7 @@ def test_two_hour_soak():
 
     # 2. hwdb stayed within its fixed memory budget while wrapping.
     stats = router.db.stats()
-    assert stats["rows_retained"] <= 4 * config.hwdb_buffer_rows
+    assert stats["rows_retained"] <= 4 * router.config.hwdb_buffer_rows
     assert stats["rows_overwritten"] > 0  # the rings really wrapped
 
     # 3. All traffic flows idled out after the generators stopped

@@ -77,3 +77,52 @@ def test_e1_nat_throughput_in_flow(benchmark):
     benchmark(one_packet)
     assert router.datapath.cache_hits > hits_before
     benchmark.extra_info["path"] = "cache hit + 4 header rewrites"
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: measure with the obs histograms and dump BENCH_E1.json
+# ----------------------------------------------------------------------
+
+
+def main(output="BENCH_E1.json", flows=120, bind_reps=30_000) -> dict:
+    import time
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    report = {"experiment": "E1 nat ablation", "fresh_flows_per_mode": flows}
+
+    # Fresh upstream flow setup: routed vs masqueraded.
+    for mode in ("routed", "nat"):
+        sim, router, host = build(nat_enabled=(mode == "nat"))
+        target = router.cloud.lookup("bbc.co.uk")
+        hist = registry.histogram(f"bench.flow_setup_{mode}_seconds")
+        for _ in range(flows):
+            start = time.perf_counter()
+            host.udp_send(target, 8883, b"payload", sport=next(_ports))
+            sim.run_for(0.2)
+            hist.observe(time.perf_counter() - start)
+        report[f"flow_setup_{mode}"] = dict(hist.fields())
+        report[f"flows_installed_{mode}"] = router.router_core.flows_installed
+
+    # Binding table churn: allocate + release, no datapath involved.
+    table = NatTable(IPv4Address("82.10.0.2"))
+    counter = itertools.count(1)
+    start = time.perf_counter()
+    for _ in range(bind_reps):
+        port = next(counter) % 60000 + 1
+        binding = table.bind(6, "10.2.0.6", port, 0.0)
+        table.release(6, binding.external_port)
+    elapsed = time.perf_counter() - start
+    report["bind_release_per_sec"] = round(bind_reps / elapsed)
+
+    from common import write_report
+
+    write_report(output, report)
+    return report
+
+
+if __name__ == "__main__":
+    from common import bench_output
+
+    main(output=str(bench_output("BENCH_E1.json")))

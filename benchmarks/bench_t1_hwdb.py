@@ -295,4 +295,6 @@ def main(output="BENCH_T1.json", inserts=40_000, query_reps=300) -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    from common import bench_output
+
+    main(output=str(bench_output("BENCH_T1.json")))

@@ -219,4 +219,6 @@ def main(out_path="BENCH_T2.json", packets=5000, misses=300) -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    from common import bench_output
+
+    main(out_path=str(bench_output("BENCH_T2.json")))

@@ -139,3 +139,68 @@ def test_t3_pending_detection_latency(benchmark):
 
     latency = benchmark(detect)
     benchmark.extra_info["sim_detection_latency_s"] = latency
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: measure with the obs histograms and dump BENCH_T3.json
+# ----------------------------------------------------------------------
+
+
+def main(output="BENCH_T3.json", alloc_reps=20_000) -> dict:
+    import time
+
+    report = {"experiment": "T3 dhcp"}
+
+    # Lease storms: wall cost of the N-device power-on, all must bind.
+    storms = {}
+    for devices in (5, 20, 40):
+        start = time.perf_counter()
+        sim = Simulator(seed=13)
+        router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+        router.start()
+        hosts = [router.add_device(f"dev{i}", fresh_mac()) for i in range(devices)]
+        for host in hosts:
+            host.start_dhcp()
+        sim.run_for(10.0)
+        bound = sum(1 for h in hosts if h.ip is not None)
+        storms[f"{devices}_devices"] = {
+            "wall_seconds": round(time.perf_counter() - start, 4),
+            "all_bound": bound == devices,
+        }
+    report["lease_storm"] = storms
+
+    # Allocation cost: the isolation ablation's quantitative half.
+    for label, pool in (
+        ("isolating", IsolatingPool(IPv4Network("10.0.0.0/8"))),
+        ("flat", FlatPool(IPv4Network("10.64.0.0/10"), IPv4Address("10.64.0.1"))),
+    ):
+        start = time.perf_counter()
+        for _ in range(alloc_reps):
+            pool.allocate(fresh_mac())
+        elapsed = time.perf_counter() - start
+        report[f"{label}_allocs_per_sec"] = round(alloc_reps / elapsed)
+
+    # Renewal churn: sustained ACK rate from a full short-lease house.
+    sim = Simulator(seed=14)
+    router = HomeworkRouter(
+        sim, config=RouterConfig(default_permit=True, lease_time=4.0)
+    )
+    router.start()
+    hosts = [router.add_device(f"dev{i}", fresh_mac()) for i in range(10)]
+    for host in hosts:
+        host.start_dhcp()
+    sim.run_for(5.0)
+    acks_before = router.dhcp.acks
+    sim.run_for(60.0)
+    report["renewals_per_sim_minute"] = router.dhcp.acks - acks_before
+
+    from common import write_report
+
+    write_report(output, report)
+    return report
+
+
+if __name__ == "__main__":
+    from common import bench_output
+
+    main(output=str(bench_output("BENCH_T3.json")))

@@ -129,3 +129,68 @@ def test_t4_proxy_throughput_queries_per_second(benchmark):
 
     benchmark(one_query)
     benchmark.extra_info["queries_seen"] = router.dns_proxy.queries_seen
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: measure with the obs histograms and dump BENCH_T4.json
+# ----------------------------------------------------------------------
+
+
+def main(output="BENCH_T4.json", lookups=150, checks=20_000) -> dict:
+    import time
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    report = {"experiment": "T4 dns proxy", "lookups_per_path": lookups}
+
+    def timed(fn, hist):
+        start = time.perf_counter()
+        result = fn()
+        hist.observe(time.perf_counter() - start)
+        return result
+
+    # Wall latency per lookup path (each lookup includes its sim window).
+    sim, router, host = build()
+    fresh_hist = registry.histogram("bench.uncached_lookup_seconds")
+    for _ in range(lookups):
+        name = f"site{next(_names)}.example.io"
+        router.cloud.add_site(name, "198.51.100.7")
+        ip, _ = timed(lambda: _resolve(sim, host, name), fresh_hist)
+        assert ip is not None
+    report["uncached_lookup"] = dict(fresh_hist.fields())
+
+    cached_hist = registry.histogram("bench.cached_lookup_seconds")
+    _resolve(sim, host, "facebook.com")
+    for _ in range(lookups):
+        timed(lambda: _resolve(sim, host, "facebook.com"), cached_hist)
+    report["cached_lookup"] = dict(cached_hist.fields())
+
+    blocked_hist = registry.histogram("bench.blocked_lookup_seconds")
+    router.dns_proxy.filter.allow_only(host.mac, ["facebook.com"])
+    for _ in range(lookups):
+        ip, rcode = timed(
+            lambda: _resolve(sim, host, "www.youtube.com"), blocked_hist
+        )
+        assert ip is None and rcode == 3
+    report["blocked_lookup"] = dict(blocked_hist.fields())
+
+    # Flow admission throughput: the requested-names dictionary hit.
+    sim, router, host = build()
+    ip, _ = _resolve(sim, host, "facebook.com")
+    start = time.perf_counter()
+    for _ in range(checks):
+        router.dns_proxy.check_flow(host.ip, ip)
+    elapsed = time.perf_counter() - start
+    report["admission_checks_per_sec"] = round(checks / elapsed)
+
+    from common import write_report
+
+    write_report(output, report)
+    return report
+
+
+if __name__ == "__main__":
+    from common import bench_output
+
+    main(output=str(bench_output("BENCH_T4.json")))

@@ -1,0 +1,39 @@
+"""Shared plumbing for the standalone benchmark entry points.
+
+Every ``python benchmarks/bench_*.py`` run writes its ``BENCH_*.json``
+summary through :func:`bench_output`, so ``--out`` points the whole
+suite at one directory (the CI bench job passes ``--out bench-out`` and
+uploads that directory as a single artifact).  The default stays the
+working directory, matching the historical behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def bench_output(default_name: str, argv=None, description: str = "") -> Path:
+    """Parse the standard benchmark CLI and return the report path."""
+    parser = argparse.ArgumentParser(
+        description=description or f"standalone benchmark writing {default_name}"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("."),
+        help="directory the BENCH_*.json report is written to",
+    )
+    args = parser.parse_args(argv)
+    args.out.mkdir(parents=True, exist_ok=True)
+    return args.out / default_name
+
+
+def write_report(path, report: dict) -> None:
+    """Dump a report dict as the benchmark's JSON artifact and echo it."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {path}")

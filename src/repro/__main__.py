@@ -8,6 +8,7 @@ Subcommands::
     python -m repro metrics     # run a household and pretty-print telemetry
     python -m repro lint        # repro-lint: repo-specific static analysis
     python -m repro fuzz        # deterministic scenario fuzzing (repro.check)
+    python -m repro fleet       # sharded multi-household runs (repro.fleet)
 
 Each demo runs entirely in simulated time and shows what the paper's
 demo visitors would have seen.  All CLI output flows through ``logging``
@@ -23,6 +24,7 @@ import logging
 import sys
 
 from . import HomeworkRouter, RouterConfig, Simulator
+from .core.logging_setup import configure_logging
 from .hwdb import render_table
 from .sim.traffic import IoTTelemetry, VideoStreaming, WebBrowsing
 from .ui.artifact import MODE_BANDWIDTH, MODE_EVENTS, MODE_SIGNAL, NetworkArtifact
@@ -36,41 +38,6 @@ logger = logging.getLogger("repro.cli")
 #: CLI output = the logger's INFO stream. One name so every demo below
 #: reads naturally while staying print()-free.
 say = logger.info
-
-
-class _StdoutHandler(logging.StreamHandler):
-    """A StreamHandler that always writes to the *current* sys.stdout.
-
-    Capturing harnesses (pytest's capsys) swap sys.stdout per test; a
-    handler holding the stream it was created with would keep writing to
-    a dead buffer.  Resolving the stream at emit time keeps "configure
-    logging once" true even under capture.
-    """
-
-    def __init__(self) -> None:
-        super().__init__(stream=sys.stdout)
-
-    @property
-    def stream(self):  # type: ignore[override]
-        return sys.stdout
-
-    @stream.setter
-    def stream(self, value) -> None:  # the base __init__ assigns; ignore it
-        pass
-
-
-def configure_logging(verbose: bool = False) -> None:
-    """Configure the ``repro`` logging tree exactly once per process."""
-    root = logging.getLogger("repro")
-    if not any(isinstance(h, _StdoutHandler) for h in root.handlers):
-        root.addHandler(_StdoutHandler())
-        root.propagate = False
-    for handler in root.handlers:
-        if isinstance(handler, _StdoutHandler):
-            handler.setFormatter(
-                logging.Formatter("%(name)s %(levelname)s %(message)s" if verbose else "%(message)s")
-            )
-    root.setLevel(logging.DEBUG if verbose else logging.INFO)
 
 
 def _build_household(seed: int):
@@ -219,6 +186,11 @@ def main(argv=None) -> int:
         from .check.cli import main as fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        # And the multi-household fleet orchestrator.
+        from .fleet.cli import main as fleet_main
+
+        return fleet_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -228,7 +200,7 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "figures", "stats", "metrics", "lint", "fuzz"],
+        choices=["demo", "figures", "stats", "metrics", "lint", "fuzz", "fleet"],
         help="which walk-through to run (default: demo)",
     )
     parser.add_argument("--seed", type=int, default=42, help="simulation seed")

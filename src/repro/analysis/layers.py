@@ -16,6 +16,9 @@ never above):
  9      ``sim``
  10     app — ``ui``, ``core.router``, the package roots, ``analysis``,
         ``check`` (the fuzzer drives the whole stack)
+ 11     ``fleet`` + ``__main__`` — multi-household orchestration over
+        whole routers; the CLI dispatcher sits here because it (lazily)
+        imports every subcommand, fleet included
 ====== =====================================================
 
 Imports guarded by ``if TYPE_CHECKING:`` are exempt (they never execute).
@@ -54,7 +57,8 @@ LAYER_PREFIXES: Tuple[Tuple[int, str], ...] = (
     (10, "repro.core"),
     (10, "repro.analysis"),
     (10, "repro.check"),
-    (10, "repro.__main__"),
+    (11, "repro.fleet"),
+    (11, "repro.__main__"),
     (10, "repro"),
 )
 
@@ -70,6 +74,7 @@ LAYER_NAMES: Dict[int, str] = {
     8: "obs",
     9: "sim",
     10: "app",
+    11: "fleet",
 }
 
 

@@ -173,7 +173,7 @@ def main(argv=None) -> int:
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
-    from ..__main__ import configure_logging
+    from ..core.logging_setup import configure_logging
 
     configure_logging(verbose=args.verbose)
 

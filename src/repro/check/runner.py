@@ -92,7 +92,14 @@ class RunResult:
 
 
 class ScenarioRunner:
-    """One scenario, one fresh world, one verdict."""
+    """One scenario, one fresh world, one verdict.
+
+    :meth:`run` executes the whole scenario in one call.  The phases are
+    also public — :meth:`start`, :meth:`run_ops` (which accepts a stop
+    index), :meth:`finish` — so a caller can pause a household mid-day,
+    serialize its state (``repro.fleet`` checkpoints) and continue later;
+    the trace, and therefore the hash, is identical either way.
+    """
 
     def __init__(self, scenario: Scenario):
         self.scenario = scenario
@@ -109,16 +116,43 @@ class ScenarioRunner:
         self._dns_answers = 0
         self._dns_failures = 0
         self.skipped = 0
+        self.trace: List[str] = []
+        self.violation: Optional[Violation] = None
+        self.next_op = 0
+        self._started = False
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
+        self.start()
+        self.run_ops()
+        return self.finish()
+
+    def start(self) -> None:
+        """Boot the router and open the trace (idempotent)."""
+        if self._started:
+            return
+        self._started = True
         self.router.start()
-        trace: List[str] = [f"scenario seed={self.scenario.seed} ops={len(self.scenario.ops)}"]
-        violation: Optional[Violation] = None
-        for index, op in enumerate(self.scenario.ops):
+        self.trace.append(
+            f"scenario seed={self.scenario.seed} ops={len(self.scenario.ops)}"
+        )
+
+    def run_ops(self, stop_before: Optional[int] = None) -> Optional[Violation]:
+        """Execute ops from where we left off up to ``stop_before``.
+
+        ``stop_before`` is an exclusive op index (default: all remaining
+        ops).  Stops early on the first invariant violation; returns it.
+        """
+        self.start()
+        ops = self.scenario.ops
+        bound = len(ops) if stop_before is None else min(stop_before, len(ops))
+        while self.next_op < bound and self.violation is None:
+            index = self.next_op
+            op = ops[index]
+            self.next_op = index + 1
             try:
                 self.sim.run_until(max(op.t, self.sim.now))
                 status = self._apply(op)
@@ -127,20 +161,28 @@ class ScenarioRunner:
                 # finding — report it as the implicit no-crash invariant
                 # so it shrinks and replays like any other violation.
                 logger.debug("scenario seed=%d crashed at op %d", self.scenario.seed, index, exc_info=True)
-                violation = Violation("no-crash", repr(exc), index, self.sim.now)
-                trace.append(f"{index} t={self.sim.now:.6f} {op.kind} crash {self._digest()}")
+                self.violation = Violation("no-crash", repr(exc), index, self.sim.now)
+                self.trace.append(f"{index} t={self.sim.now:.6f} {op.kind} crash {self._digest()}")
                 break
-            trace.append(f"{index} t={self.sim.now:.6f} {op.kind} {status} {self._digest()}")
+            self.trace.append(f"{index} t={self.sim.now:.6f} {op.kind} {status} {self._digest()}")
             failure = check_all(self.router, self.ctx)
             if failure is not None:
-                violation = Violation(failure.invariant, failure.message, index, self.sim.now)
-                break
-        if violation is None:
-            violation = self._run_tail(trace)
-        trace.append(f"end t={self.sim.now:.6f} {self._digest()}")
-        digest = hashlib.sha256("\n".join(trace).encode()).hexdigest()
+                self.violation = Violation(failure.invariant, failure.message, index, self.sim.now)
+        return self.violation
+
+    def finish(self) -> RunResult:
+        """Run the quiet tail, seal the trace, return the verdict."""
+        if self.violation is None:
+            self.violation = self._run_tail(self.trace)
+        self.trace.append(f"end t={self.sim.now:.6f} {self._digest()}")
+        digest = hashlib.sha256("\n".join(self.trace).encode()).hexdigest()
         return RunResult(
-            self.scenario, trace, digest, violation, self.skipped, self.sim.events_executed
+            self.scenario,
+            self.trace,
+            digest,
+            self.violation,
+            self.skipped,
+            self.sim.events_executed,
         )
 
     def _run_tail(self, trace: List[str]) -> Optional[Violation]:

@@ -37,5 +37,9 @@ class ServiceError(ReproError):
     """Raised by router services (DHCP, DNS proxy, control API)."""
 
 
+class FleetError(ReproError):
+    """Fleet orchestration failure: bad checkpoint, divergent restore."""
+
+
 class PolicyError(ReproError):
     """Raised by the policy model/compiler."""

@@ -1,0 +1,36 @@
+"""repro.fleet — sharded multi-household orchestration.
+
+Runs N independent simulated homes (one router, one scenario, one
+simulator each) across a shared-nothing worker pool, merges their
+metrics into a fleet-wide report, and checkpoints long runs to disk in a
+versioned format that resumes with identical trace hashes.
+
+Entry point: ``python -m repro fleet`` (see :mod:`repro.fleet.cli`).
+"""
+
+from .aggregate import aggregate, fleet_digest, merge_histograms, render_report
+from .checkpoint import (
+    checkpoint_household,
+    load_checkpoint,
+    resume_household,
+    save_checkpoint,
+)
+from .household import HouseholdResult, HouseholdSpec, run_household
+from .pool import run_fleet
+from .seeds import household_seed
+
+__all__ = [
+    "HouseholdResult",
+    "HouseholdSpec",
+    "aggregate",
+    "checkpoint_household",
+    "fleet_digest",
+    "household_seed",
+    "load_checkpoint",
+    "merge_histograms",
+    "render_report",
+    "resume_household",
+    "run_fleet",
+    "run_household",
+    "save_checkpoint",
+]

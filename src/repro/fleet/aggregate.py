@@ -1,0 +1,158 @@
+"""Central aggregator: per-household results → one fleet report.
+
+Latency merging is lossless because households ship histogram *bucket
+counts* (identical bounds everywhere), not precomputed percentiles —
+summing buckets across households and reading p50/p95/p99 off the merged
+histogram gives exactly what a single process observing every sample
+would report.  Since all three latency instruments observe simulated
+seconds, the merged percentiles are a pure function of the fleet seed:
+byte-identical at any worker count.
+
+The fleet digest is a SHA-256 over the ordered per-household trace
+hashes — one line of JSON diff tells two fleet runs apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import Histogram
+from .household import COUNTER_METRICS, LATENCY_METRICS, HouseholdResult
+
+#: Quantiles reported per latency metric (Histogram.percentile takes 0-1).
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def merge_histograms(
+    results: List[HouseholdResult],
+) -> Dict[str, Histogram]:
+    """Sum each latency metric's buckets across every household."""
+    merged: Dict[str, Histogram] = {}
+    for result in results:
+        for name, payload in result.histograms.items():
+            incoming = Histogram.from_dict(payload)
+            if name in merged:
+                merged[name].merge(incoming)
+            else:
+                merged[name] = incoming
+    return merged
+
+
+def fleet_digest(results: List[HouseholdResult]) -> str:
+    """SHA-256 over household ids and trace hashes, in id order."""
+    hasher = hashlib.sha256()
+    for result in sorted(results, key=lambda r: r.household_id):
+        hasher.update(f"{result.household_id}:{result.trace_hash}\n".encode())
+    return hasher.hexdigest()
+
+
+def _latency_summary(hist: Histogram) -> Dict[str, Any]:
+    return {
+        "count": hist.count,
+        "mean": hist.mean,
+        **{f"p{round(p * 100):d}": hist.percentile(p) for p in PERCENTILES},
+    }
+
+
+def aggregate(
+    results: List[HouseholdResult],
+    workers: int,
+    wall_seconds: float,
+    fleet_seed: int,
+) -> Dict[str, Any]:
+    """Build the fleet-wide report (the BENCH_FLEET ``run`` record)."""
+    results = sorted(results, key=lambda r: r.household_id)
+    total_events = sum(r.events for r in results)
+    total_ops = sum(r.ops for r in results)
+    total_sim = sum(r.sim_seconds for r in results)
+    violations = [
+        {"household_id": r.household_id, "invariant": r.invariant}
+        for r in results
+        if not r.ok
+    ]
+    counters: Dict[str, int] = {name: 0 for name in COUNTER_METRICS}
+    for result in results:
+        for name, value in result.counters.items():
+            counters[name] = counters.get(name, 0) + value
+    latencies = {
+        name: _latency_summary(hist)
+        for name, hist in sorted(merge_histograms(results).items())
+    }
+    for name in LATENCY_METRICS:
+        latencies.setdefault(name, None)
+    return {
+        "fleet_seed": fleet_seed,
+        "workers": workers,
+        "households": len(results),
+        "wall_seconds": wall_seconds,
+        "households_per_sec": len(results) / wall_seconds if wall_seconds else 0.0,
+        "events_per_sec": total_events / wall_seconds if wall_seconds else 0.0,
+        "events": total_events,
+        "ops": total_ops,
+        "sim_seconds": total_sim,
+        "violations": violations,
+        "counters": counters,
+        "latencies": latencies,
+        "fleet_digest": fleet_digest(results),
+        "trace_hashes": {
+            str(r.household_id): r.trace_hash for r in results
+        },
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of one fleet run."""
+    lines = [
+        f"fleet: {report['households']} households, "
+        f"{report['workers']} worker(s), seed {report['fleet_seed']}",
+        f"  wall: {report['wall_seconds']:.2f}s  "
+        f"({report['households_per_sec']:.1f} households/s, "
+        f"{report['events_per_sec']:.0f} events/s)",
+        f"  events: {report['events']}  ops: {report['ops']}  "
+        f"sim: {report['sim_seconds']:.0f}s",
+        f"  digest: {report['fleet_digest'][:16]}...",
+    ]
+    if report["violations"]:
+        lines.append(f"  VIOLATIONS: {report['violations']}")
+    for name, summary in report["latencies"].items():
+        if summary is None:
+            lines.append(f"  {name}: (no samples)")
+        else:
+            lines.append(
+                f"  {name}: n={summary['count']} "
+                f"p50={summary['p50'] * 1e3:.2f}ms "
+                f"p95={summary['p95'] * 1e3:.2f}ms "
+                f"p99={summary['p99'] * 1e3:.2f}ms"
+            )
+    return "\n".join(lines)
+
+
+def scaling_summary(runs: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Speedup table across worker counts (baseline = fewest workers)."""
+    if len(runs) < 2:
+        return None
+    ordered = sorted(runs, key=lambda run: run["workers"])
+    baseline = ordered[0]
+    return {
+        "baseline_workers": baseline["workers"],
+        "speedups": {
+            str(run["workers"]): (
+                run["events_per_sec"] / baseline["events_per_sec"]
+                if baseline["events_per_sec"]
+                else 0.0
+            )
+            for run in ordered
+        },
+        "digests_match": len({run["fleet_digest"] for run in ordered}) == 1,
+    }
+
+
+__all__ = [
+    "PERCENTILES",
+    "aggregate",
+    "fleet_digest",
+    "merge_histograms",
+    "render_report",
+    "scaling_summary",
+]

@@ -1,0 +1,228 @@
+"""Versioned snapshot/restore for fleet runs.
+
+Two checkpoint kinds share the ``repro.fleet/1`` format tag:
+
+**Household checkpoints** freeze one household mid-day: the scenario,
+how many ops have executed, the trace so far, and the serialized router
+state — the full hwdb (via :mod:`repro.hwdb.snapshot`), the DHCP lease
+table, the NAT bindings and the policy store.  Restore replays the
+executed prefix deterministically (same seed ⇒ same world) and then
+*verifies* the rebuilt world against every serialized surface before
+continuing; any divergence — a nondeterminism bug, a version skew — is a
+:class:`~repro.core.errors.FleetError`, never a silently wrong resume.
+The hwdb snapshot is additionally restored into a fresh database and
+digest-compared, so the restore path itself is exercised on every
+resume.
+
+**Fleet checkpoints** record which households of a run have completed
+(with their full results), so a long sweep that dies resumes by running
+only the remainder.  Writes are atomic (tmp + rename): a checkpoint file
+is either the old state or the new one, never a torn write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+from ..core.clock import SimulatedClock, WallClock
+from ..core.errors import FleetError
+from ..hwdb.database import HomeworkDatabase
+from ..hwdb.snapshot import database_digests, restore_database, snapshot_database
+from ..check.runner import ScenarioRunner
+from ..check.scenario import Scenario
+from .household import HouseholdResult, HouseholdSpec, collect_result
+
+#: On-disk format tag shared by both checkpoint kinds; bump on any
+#: incompatible change to either payload.
+FORMAT = "repro.fleet/1"
+
+
+# ----------------------------------------------------------------------
+# Household checkpoints
+# ----------------------------------------------------------------------
+
+
+def snapshot_runner_state(runner: ScenarioRunner) -> Dict[str, Any]:
+    """Serialize every router state surface a resume must reproduce."""
+    router = runner.router
+    nat = router.router_core.nat
+    return {
+        "hwdb": snapshot_database(router.db, exclude_tables=("metrics",)),
+        "hwdb_digests": database_digests(router.db),
+        "leases": router.dhcp.leases.to_snapshot(),
+        "nat": None if nat is None else nat.to_snapshot(),
+        "policies": router.policy_engine.to_snapshot(),
+    }
+
+
+def checkpoint_household(spec: HouseholdSpec, stop_before: int) -> Dict[str, Any]:
+    """Run a household up to op ``stop_before`` and freeze it.
+
+    Returns the JSON-able checkpoint payload.  The partially-run world
+    is abandoned — a long-running caller that wants to checkpoint *and*
+    keep going simply continues using its own runner.
+    """
+    runner = ScenarioRunner(spec.scenario())
+    runner.start()
+    runner.run_ops(stop_before=stop_before)
+    return {
+        "format": FORMAT,
+        "kind": "household",
+        "spec": spec.to_dict(),
+        "scenario": runner.scenario.to_dict(),
+        "ops_done": runner.next_op,
+        "sim_now": runner.sim.now,
+        "trace": list(runner.trace),
+        "violation": None
+        if runner.violation is None
+        else runner.violation.to_dict(),
+        "state": snapshot_runner_state(runner),
+    }
+
+
+def _require_format(payload: Dict[str, Any], kind: str) -> None:
+    if payload.get("format") != FORMAT:
+        raise FleetError(
+            f"unsupported checkpoint format {payload.get('format')!r} "
+            f"(expected {FORMAT!r})"
+        )
+    if payload.get("kind") != kind:
+        raise FleetError(
+            f"expected a {kind!r} checkpoint, got {payload.get('kind')!r}"
+        )
+
+
+def _strip_policy_ids(policies_snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Policy ids come from a process-global counter; compare without them."""
+    stripped = dict(policies_snapshot)
+    stripped["policies"] = [
+        {key: value for key, value in document.items() if key != "id"}
+        for document in policies_snapshot.get("policies", [])
+    ]
+    return stripped
+
+
+def _verify_restored(runner: ScenarioRunner, payload: Dict[str, Any]) -> None:
+    """Every serialized surface must match the replayed world exactly."""
+    state = payload["state"]
+    if runner.trace != payload["trace"]:
+        raise FleetError(
+            f"resume diverged: replayed trace differs from checkpoint "
+            f"(household seed {runner.scenario.seed})"
+        )
+    if runner.sim.now != payload["sim_now"]:
+        raise FleetError(
+            f"resume diverged: sim time {runner.sim.now} != checkpointed "
+            f"{payload['sim_now']}"
+        )
+    live_digests = database_digests(runner.router.db)
+    if live_digests != state["hwdb_digests"]:
+        raise FleetError("resume diverged: hwdb table digests differ")
+    # Exercise the snapshot→restore path itself: the serialized database
+    # must rebuild to the same digests the live one shows.
+    scratch = HomeworkDatabase(SimulatedClock())
+    restore_database(scratch, state["hwdb"])
+    if database_digests(scratch) != state["hwdb_digests"]:
+        raise FleetError("hwdb snapshot does not restore to its own digests")
+    if runner.router.dhcp.leases.to_snapshot() != state["leases"]:
+        raise FleetError("resume diverged: DHCP lease state differs")
+    nat = runner.router.router_core.nat
+    live_nat = None if nat is None else nat.to_snapshot()
+    if live_nat != state["nat"]:
+        raise FleetError("resume diverged: NAT binding state differs")
+    if _strip_policy_ids(runner.router.policy_engine.to_snapshot()) != _strip_policy_ids(
+        state["policies"]
+    ):
+        raise FleetError("resume diverged: policy store differs")
+
+
+def resume_household(payload: Dict[str, Any]) -> HouseholdResult:
+    """Bring a checkpointed household back and run it to completion.
+
+    The executed prefix is replayed (deterministically, from the
+    scenario seed), verified against the checkpoint's serialized state,
+    and the remaining ops plus the quiet tail run as if the household
+    had never stopped — the final trace hash is identical to an
+    uninterrupted run's.
+    """
+    _require_format(payload, "household")
+    wall = WallClock()
+    started = wall.now()
+    spec = HouseholdSpec.from_dict(payload["spec"])
+    scenario = Scenario.from_dict(payload["scenario"])
+    runner = ScenarioRunner(scenario)
+    runner.start()
+    runner.run_ops(stop_before=int(payload["ops_done"]))
+    _verify_restored(runner, payload)
+    runner.run_ops()
+    run = runner.finish()
+    return collect_result(spec, runner, run, wall.now() - started)
+
+
+# ----------------------------------------------------------------------
+# Fleet checkpoints
+# ----------------------------------------------------------------------
+
+
+def fleet_checkpoint_payload(
+    fleet_config: Dict[str, Any], completed: Dict[int, HouseholdResult]
+) -> Dict[str, Any]:
+    return {
+        "format": FORMAT,
+        "kind": "fleet",
+        "fleet": dict(fleet_config),
+        "completed": {
+            str(household_id): result.to_dict()
+            for household_id, result in sorted(completed.items())
+        },
+    }
+
+
+def save_checkpoint(path: Path, payload: Dict[str, Any]) -> None:
+    """Atomic write: the file is never observed half-written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: Path) -> Dict[str, Any]:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT:
+        raise FleetError(
+            f"unsupported checkpoint format {payload.get('format')!r} in {path}"
+        )
+    return payload
+
+
+def load_fleet_checkpoint(
+    path: Path, expected_config: Dict[str, Any]
+) -> Dict[int, HouseholdResult]:
+    """Load completed results, refusing a checkpoint from a different run."""
+    payload = load_checkpoint(path)
+    _require_format(payload, "fleet")
+    if payload["fleet"] != expected_config:
+        raise FleetError(
+            f"checkpoint {path} belongs to a different fleet run: "
+            f"{payload['fleet']} != {expected_config}"
+        )
+    return {
+        int(household_id): HouseholdResult.from_dict(result)
+        for household_id, result in payload["completed"].items()
+    }
+
+
+__all__ = [
+    "FORMAT",
+    "checkpoint_household",
+    "fleet_checkpoint_payload",
+    "load_checkpoint",
+    "load_fleet_checkpoint",
+    "resume_household",
+    "save_checkpoint",
+    "snapshot_runner_state",
+]

@@ -1,0 +1,292 @@
+"""``python -m repro fleet`` — run many households, report fleet-wide.
+
+Modes::
+
+    python -m repro fleet --households 64 --workers 8
+    python -m repro fleet --households 64 --bench-workers 1,2,4,8
+    python -m repro fleet --households 32 --checkpoint fleet.ckpt
+    python -m repro fleet --households 32 --checkpoint fleet.ckpt --resume
+    python -m repro fleet --households 16 --workers 2 --verify-resume
+
+A plain run shards ``--households`` independent scenario-driven homes
+across ``--workers`` processes and prints the aggregate report (events/s,
+merged latency percentiles, the fleet digest over all trace hashes).
+
+``--bench-workers`` sweeps a comma-separated list of worker counts over
+the *same* fleet seed and writes the scaling curve to ``--out``
+(BENCH_FLEET.json); the per-run fleet digests must match — the report
+says so explicitly.
+
+``--checkpoint`` saves an atomic fleet checkpoint as each household
+completes; ``--resume`` loads it and runs only the remainder.
+``--verify-resume`` is the self-test the CI smoke job runs: an
+uninterrupted fleet, a checkpointed-and-resumed fleet, and a
+mid-scenario household checkpoint/restore must all agree on their
+hashes, or the command exits nonzero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..core.clock import WallClock
+from ..core.errors import FleetError
+from .aggregate import aggregate, fleet_digest, render_report, scaling_summary
+from .checkpoint import (
+    checkpoint_household,
+    fleet_checkpoint_payload,
+    load_fleet_checkpoint,
+    resume_household,
+    save_checkpoint,
+)
+from .household import HouseholdResult, HouseholdSpec
+from .pool import run_fleet
+
+logger = logging.getLogger("repro.cli.fleet")
+say = logger.info
+
+
+def build_specs(
+    households: int, fleet_seed: int, max_ops: int, duration: float
+) -> List[HouseholdSpec]:
+    return [
+        HouseholdSpec(
+            household_id=household_id,
+            fleet_seed=fleet_seed,
+            max_ops=max_ops,
+            duration=duration,
+        )
+        for household_id in range(households)
+    ]
+
+
+def fleet_config(args: argparse.Namespace) -> Dict[str, Any]:
+    """The identity of a run — a checkpoint from a different one is refused."""
+    return {
+        "fleet_seed": args.seed,
+        "households": args.households,
+        "max_ops": args.ops,
+        "duration": args.duration,
+    }
+
+
+def run_once(
+    specs: List[HouseholdSpec],
+    workers: int,
+    fleet_seed: int,
+    completed: Optional[Dict[int, HouseholdResult]] = None,
+    checkpoint_path: Optional[Path] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One fleet execution → aggregate report (checkpointing optional)."""
+    wall = WallClock()
+    started = wall.now()
+    done: Dict[int, HouseholdResult] = dict(completed or {})
+    remaining = [spec for spec in specs if spec.household_id not in done]
+    if completed:
+        say("resume: %d households done, %d remaining", len(done), len(remaining))
+
+    def on_result(result: HouseholdResult) -> None:
+        done[result.household_id] = result
+        if checkpoint_path is not None:
+            save_checkpoint(
+                checkpoint_path, fleet_checkpoint_payload(config or {}, done)
+            )
+
+    run_fleet(remaining, workers=workers, on_result=on_result)
+    return aggregate(
+        sorted(done.values(), key=lambda r: r.household_id),
+        workers=workers,
+        wall_seconds=wall.now() - started,
+        fleet_seed=fleet_seed,
+    )
+
+
+def verify_resume(specs: List[HouseholdSpec], workers: int, args) -> int:
+    """End-to-end determinism check: resumed runs must match uninterrupted.
+
+    Three comparisons, all on trace hashes:
+
+    1. fleet level — run half the households, checkpoint, reload, run the
+       rest: the combined digest must equal the uninterrupted run's;
+    2. household level — checkpoint one household mid-scenario, resume it
+       (replay + state verification + remainder): same trace hash;
+    3. worker independence — the uninterrupted run at ``--workers`` and
+       the pieces above ran at various worker counts already.
+    """
+    config = fleet_config(args)
+    uninterrupted = run_once(specs, workers, args.seed)
+    say("uninterrupted digest: %s", uninterrupted["fleet_digest"])
+
+    # 1. Fleet checkpoint/restore through an actual file.
+    checkpoint_path = Path(args.checkpoint or "fleet-verify.ckpt")
+    half = specs[: len(specs) // 2]
+    first_results = run_fleet(half, workers=workers)
+    save_checkpoint(
+        checkpoint_path,
+        fleet_checkpoint_payload(
+            config, {r.household_id: r for r in first_results}
+        ),
+    )
+    completed = load_fleet_checkpoint(checkpoint_path, config)
+    resumed = run_once(
+        specs, workers, args.seed, completed=completed,
+        checkpoint_path=checkpoint_path, config=config,
+    )
+    say("resumed digest:       %s", resumed["fleet_digest"])
+    if resumed["fleet_digest"] != uninterrupted["fleet_digest"]:
+        say("FAIL: fleet digest diverged after checkpoint+resume")
+        return 1
+
+    # 2. Household-level mid-scenario checkpoint: replay, verify, finish.
+    probe = specs[0]
+    payload = checkpoint_household(probe, stop_before=probe.max_ops // 2)
+    household_path = checkpoint_path.with_suffix(".household.json")
+    save_checkpoint(household_path, payload)
+    restored = resume_household(json.loads(household_path.read_text()))
+    expected = uninterrupted["trace_hashes"][str(probe.household_id)]
+    if restored.trace_hash != expected:
+        say(
+            "FAIL: household %d hash %s != %s after mid-scenario resume",
+            probe.household_id,
+            restored.trace_hash,
+            expected,
+        )
+        return 1
+    say(
+        "household %d mid-scenario resume ok (hash %s...)",
+        probe.household_id,
+        restored.trace_hash[:16],
+    )
+    say("verify-resume: all hashes match")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Sharded multi-household fleet runs with snapshot/restore",
+    )
+    parser.add_argument(
+        "--households", type=int, default=16, help="independent homes to simulate"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (<=1 runs inline)"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="fleet seed")
+    parser.add_argument(
+        "--ops", type=int, default=40, help="operations per household scenario"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=300.0,
+        help="simulated seconds per household (plus a quiet tail)",
+    )
+    parser.add_argument(
+        "--bench-workers",
+        default=None,
+        help="comma-separated worker counts to sweep (writes the scaling curve)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_FLEET.json"),
+        help="where the benchmark report is written",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="fleet checkpoint file, updated after every household",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="load --checkpoint and run only the remaining households",
+    )
+    parser.add_argument(
+        "--verify-resume",
+        action="store_true",
+        help="self-test: checkpointed+resumed hashes must match uninterrupted",
+    )
+    parser.add_argument(
+        "--hash-only",
+        action="store_true",
+        help="print only per-household trace hashes and the fleet digest",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    from ..core.logging_setup import configure_logging
+
+    configure_logging(verbose=args.verbose)
+
+    specs = build_specs(args.households, args.seed, args.ops, args.duration)
+
+    if args.verify_resume:
+        return verify_resume(specs, args.workers, args)
+
+    if args.hash_only:
+        results = run_fleet(specs, workers=args.workers)
+        for result in results:
+            say("household=%d hash=%s", result.household_id, result.trace_hash)
+        say("fleet digest=%s", fleet_digest(results))
+        return 0
+
+    if args.bench_workers:
+        worker_counts = [int(part) for part in args.bench_workers.split(",")]
+        runs = [
+            run_once(specs, count, args.seed) for count in worker_counts
+        ]
+        for run in runs:
+            say("%s", render_report(run))
+        report = {
+            "experiment": "fleet scaling",
+            # Speedup is bounded by the cores actually available; record
+            # them so a flat curve on a 1-core box reads as what it is.
+            "cpu_count": os.cpu_count(),
+            "fleet_seed": args.seed,
+            "households": args.households,
+            "max_ops": args.ops,
+            "duration": args.duration,
+            "runs": runs,
+            "scaling": scaling_summary(runs),
+        }
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        say("wrote %s", args.out)
+        scaling = report["scaling"]
+        if scaling is not None and not scaling["digests_match"]:
+            say("FAIL: fleet digests differ across worker counts")
+            return 1
+        return 0
+
+    config = fleet_config(args)
+    completed: Dict[int, HouseholdResult] = {}
+    if args.resume:
+        if args.checkpoint is None or not args.checkpoint.exists():
+            raise FleetError("--resume needs an existing --checkpoint file")
+        completed = load_fleet_checkpoint(args.checkpoint, config)
+    report = run_once(
+        specs,
+        args.workers,
+        args.seed,
+        completed=completed,
+        checkpoint_path=args.checkpoint,
+        config=config,
+    )
+    say("%s", render_report(report))
+    if report["violations"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Shared-nothing worker pool for fleet runs.
+
+Households are independent worlds, so parallelism is embarrassing: each
+worker process rebuilds a household from its picklable spec, runs it to
+completion, and ships back a JSON-able result dict.  Nothing is shared —
+no sockets, no locks, no common simulator — which is exactly why the
+per-household trace hashes cannot depend on the worker count or on
+completion order.
+
+``fork`` is preferred where available (workers inherit the imported
+modules; startup is milliseconds); ``spawn`` is the fallback elsewhere.
+``workers <= 1`` bypasses multiprocessing entirely and runs inline,
+which keeps single-worker benchmarks honest (no pool overhead) and makes
+debugging a misbehaving household trivial.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from .household import HouseholdResult, HouseholdSpec, run_household
+
+log = logging.getLogger("repro.fleet.pool")
+
+#: Specs handed to each worker per pickup.  1 maximises load balancing;
+#: households are coarse enough (tens of ms) that the IPC cost is noise.
+CHUNK_SIZE = 1
+
+
+def _run_household_task(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: dict in, dict out (both picklable)."""
+    spec = HouseholdSpec.from_dict(spec_dict)
+    return run_household(spec).to_dict()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_fleet(
+    specs: Iterable[HouseholdSpec],
+    workers: int = 1,
+    on_result: Optional[Callable[[HouseholdResult], None]] = None,
+) -> List[HouseholdResult]:
+    """Run every household and return results sorted by household id.
+
+    ``on_result`` fires as each household completes (in completion
+    order, in the parent process) — the hook the CLI uses to write
+    incremental fleet checkpoints.
+    """
+    pending = list(specs)
+    results: List[HouseholdResult] = []
+
+    def _accept(result_dict: Dict[str, Any]) -> None:
+        result = HouseholdResult.from_dict(result_dict)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    if workers <= 1 or len(pending) <= 1:
+        for spec in pending:
+            _accept(_run_household_task(spec.to_dict()))
+    else:
+        context = _pool_context()
+        processes = min(workers, len(pending))
+        log.info(
+            "fleet pool: %d households across %d workers (%s)",
+            len(pending),
+            processes,
+            context.get_start_method(),
+        )
+        with context.Pool(processes=processes) as pool:
+            spec_dicts = [spec.to_dict() for spec in pending]
+            for result_dict in pool.imap_unordered(
+                _run_household_task, spec_dicts, chunksize=CHUNK_SIZE
+            ):
+                _accept(result_dict)
+    results.sort(key=lambda result: result.household_id)
+    return results
+
+
+__all__ = ["CHUNK_SIZE", "run_fleet"]

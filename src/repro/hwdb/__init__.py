@@ -15,6 +15,14 @@ from .rpc import (
     pack_resultset,
     unpack_resultset,
 )
+from .snapshot import (
+    database_digests,
+    restore_database,
+    restore_table,
+    snapshot_database,
+    snapshot_table,
+    table_digest,
+)
 from .udp_gateway import HwdbUdpGateway, RemoteHwdbClient
 from .schema import (
     DNS_SCHEMA,
@@ -57,6 +65,12 @@ __all__ = [
     "JsonLinesSink",
     "MemorySink",
     "render_table",
+    "snapshot_database",
+    "snapshot_table",
+    "restore_database",
+    "restore_table",
+    "database_digests",
+    "table_digest",
     "install_standard_schema",
     "STANDARD_TABLES",
     "FLOWS_SCHEMA",

@@ -1,0 +1,195 @@
+"""Snapshot/restore for hwdb state.
+
+hwdb is deliberately ephemeral — fixed-size ring buffers, no disk — but
+a *checkpoint* of a running router (``repro.fleet``) must carry the
+database across a process boundary and bring it back bit-identically.
+These functions serialize everything observable about a database to
+plain JSON-able dicts and rebuild it:
+
+* per table: schema (column name/type pairs), capacity, every retained
+  row (timestamp + coerced values), ``total_inserted`` and
+  ``last_timestamp`` — so ``overwritten`` and monotonic-timestamp
+  clamping behave identically after restore;
+* per subscription: the query (unparsed back to CQL text), interval,
+  ``deliver_empty`` and the delivery/execution counters.  Callbacks are
+  code, not data — the restorer re-binds them via a factory (default: a
+  no-op sink).
+
+The payload is versioned (:data:`FORMAT`); loading any other version is
+a hard error, never a silent best-effort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.errors import HwdbError
+from .cql.unparse import unparse
+from .database import HomeworkDatabase, Subscription
+from .table import StreamTable
+
+#: On-disk format tag; bump on any incompatible payload change.
+FORMAT = "repro.hwdb/1"
+
+SubscriptionCallbackFactory = Callable[[Dict[str, Any]], Callable]
+
+
+def snapshot_table(table: StreamTable) -> Dict[str, Any]:
+    """Everything observable about one ring-buffer table, as a dict."""
+    last_ts = table.last_timestamp
+    return {
+        "name": table.name,
+        "capacity": table.capacity,
+        "columns": [[column.name, column.ctype.name] for column in table.columns],
+        "total_inserted": table.total_inserted,
+        "last_timestamp": None if last_ts == float("-inf") else last_ts,
+        "rows": [[row.timestamp, list(row.values)] for row in table.rows()],
+    }
+
+
+def restore_table(db: HomeworkDatabase, snap: Dict[str, Any]) -> StreamTable:
+    """Recreate a table from :func:`snapshot_table` output inside ``db``."""
+    name = str(snap["name"])
+    if db.has_table(name):
+        raise HwdbError(f"cannot restore table {name!r}: it already exists")
+    columns = [(str(cname), str(tname)) for cname, tname in snap["columns"]]
+    table = db.create_table(name, columns, int(snap["capacity"]))
+    rows = [(float(ts), list(values)) for ts, values in snap["rows"]]
+    if len(rows) > table.capacity:
+        raise HwdbError(
+            f"snapshot of {name!r} holds {len(rows)} rows but capacity is "
+            f"{table.capacity}"
+        )
+    for ts, values in rows:
+        table.insert(ts, values)
+    table.total_inserted = int(snap["total_inserted"])
+    last_ts = snap.get("last_timestamp")
+    table.last_timestamp = float("-inf") if last_ts is None else float(last_ts)
+    return table
+
+
+def snapshot_subscription(subscription: Subscription) -> Dict[str, Any]:
+    return {
+        "query": unparse(subscription.select),
+        "interval": subscription.interval,
+        "deliver_empty": subscription.deliver_empty,
+        "active": subscription.active,
+        "executions": subscription.executions,
+        "deliveries": subscription.deliveries,
+    }
+
+
+def snapshot_database(
+    db: HomeworkDatabase, exclude_tables: tuple = ()
+) -> Dict[str, Any]:
+    """Serialize a whole database (tables + subscriptions + counters).
+
+    ``exclude_tables`` names tables to leave out — fleet checkpoints drop
+    ``metrics`` because its rows carry wall-clock latencies that can
+    never replay bit-identically.
+    """
+    excluded = {name.lower() for name in exclude_tables}
+    return {
+        "format": FORMAT,
+        "default_capacity": db.default_capacity,
+        "queries_executed": db.queries_executed,
+        "inserts": db.inserts,
+        "tables": [
+            snapshot_table(db.table(name))
+            for name in db.tables()
+            if name not in excluded
+        ],
+        "subscriptions": [
+            snapshot_subscription(sub)
+            for sub in sorted(db.subscriptions(), key=lambda s: s.id)
+            if sub.active
+        ],
+    }
+
+
+def restore_database(
+    db: HomeworkDatabase,
+    snap: Dict[str, Any],
+    callback_factory: Optional[SubscriptionCallbackFactory] = None,
+) -> List[Subscription]:
+    """Rebuild tables and re-register subscriptions from a snapshot.
+
+    ``db`` should be freshly constructed (no tables).  Subscription
+    callbacks are re-bound via ``callback_factory(sub_snapshot)``; with
+    no factory they become no-op sinks.  Timers are re-armed only when
+    the database has a scheduler attached.  Returns the restored
+    subscriptions in snapshot order.
+    """
+    if snap.get("format") != FORMAT:
+        raise HwdbError(
+            f"unsupported hwdb snapshot format {snap.get('format')!r} "
+            f"(expected {FORMAT!r})"
+        )
+    for table_snap in snap["tables"]:
+        restore_table(db, table_snap)
+    db.queries_executed = int(snap.get("queries_executed", 0))
+    db.inserts = int(snap.get("inserts", 0))
+    restored: List[Subscription] = []
+    for sub_snap in snap.get("subscriptions", ()):
+        callback = (
+            callback_factory(sub_snap) if callback_factory is not None else _no_op
+        )
+        subscription = db.subscribe(
+            str(sub_snap["query"]),
+            float(sub_snap["interval"]),
+            callback,
+            deliver_empty=bool(sub_snap.get("deliver_empty", False)),
+            start=db._scheduler is not None,
+        )
+        subscription.executions = int(sub_snap.get("executions", 0))
+        subscription.deliveries = int(sub_snap.get("deliveries", 0))
+        restored.append(subscription)
+    return restored
+
+
+def table_digest(table: StreamTable) -> str:
+    """SHA-256 over the retained rows (timestamps + values) and counters.
+
+    Formatting is explicit (``repr`` for floats) so the digest is stable
+    across processes regardless of ``PYTHONHASHSEED``.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{table.name}|{table.capacity}|{table.total_inserted}\n".encode()
+    )
+    for row in table.rows():
+        hasher.update(repr(row.timestamp).encode())
+        for value in row.values:
+            hasher.update(b"|")
+            hasher.update(repr(value).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def database_digests(
+    db: HomeworkDatabase, exclude_tables: tuple = ("metrics",)
+) -> Dict[str, str]:
+    """Per-table digests (metrics excluded by default — wall-clock data)."""
+    excluded = {name.lower() for name in exclude_tables}
+    return {
+        name: table_digest(db.table(name))
+        for name in db.tables()
+        if name not in excluded
+    }
+
+
+def _no_op(result) -> None:
+    """Default restored-subscription sink: deliveries are counted, dropped."""
+
+
+__all__ = [
+    "FORMAT",
+    "database_digests",
+    "restore_database",
+    "restore_table",
+    "snapshot_database",
+    "snapshot_subscription",
+    "snapshot_table",
+    "table_digest",
+]

@@ -128,5 +128,26 @@ class LeaseDatabase:
     def active(self, now: float) -> List[Lease]:
         return [lease for lease in self._by_mac.values() if lease.active(now)]
 
+    def to_snapshot(self) -> List[Dict[str, object]]:
+        """Serialize every lease as a JSON-able dict, ordered by MAC.
+
+        This is the checkpoint surface ``repro.fleet`` persists and
+        verifies on restore; ordering is by MAC string so two identical
+        databases always serialize identically.
+        """
+        return [
+            {
+                "mac": str(lease.mac),
+                "ip": str(lease.ip),
+                "gateway": str(lease.gateway),
+                "hostname": lease.hostname,
+                "state": lease.state,
+                "granted_at": lease.granted_at,
+                "expires_at": lease.expires_at,
+                "renew_count": lease.renew_count,
+            }
+            for lease in sorted(self._by_mac.values(), key=lambda l: str(l.mac))
+        ]
+
     def __len__(self) -> int:
         return len(self._by_mac)

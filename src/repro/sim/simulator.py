@@ -25,7 +25,7 @@ Action = Callable[[], Any]
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("when", "seq", "action", "cancelled", "periodic", "interval")
+    __slots__ = ("when", "seq", "action", "cancelled", "periodic", "interval", "owner")
 
     def __init__(
         self,
@@ -34,6 +34,7 @@ class ScheduledEvent:
         action: Action,
         periodic: bool = False,
         interval: float = 0.0,
+        owner: Optional["Simulator"] = None,
     ):
         self.when = when
         self.seq = seq
@@ -41,9 +42,13 @@ class ScheduledEvent:
         self.cancelled = False
         self.periodic = periodic
         self.interval = interval
+        self.owner = owner
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -58,6 +63,11 @@ class Simulator:
     simulated components.
     """
 
+    #: Compaction threshold: rebuild the heap once more than half of it
+    #: is lazily-deleted (cancelled) entries.  Small heaps are left alone
+    #: — rebuilding 30 entries costs more bookkeeping than it saves.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, seed: int = 0, start_time: float = 0.0):
         self.clock = SimulatedClock(start_time)
         self.bus = EventBus()
@@ -66,6 +76,8 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self.events_executed = 0
+        self._cancelled_in_queue = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -75,7 +87,7 @@ class Simulator:
         """Run ``action`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        event = ScheduledEvent(self.now + delay, next(self._seq), action)
+        event = ScheduledEvent(self.now + delay, next(self._seq), action, owner=self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -83,7 +95,7 @@ class Simulator:
         """Run ``action`` at absolute simulated time ``when``."""
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
-        event = ScheduledEvent(when, next(self._seq), action)
+        event = ScheduledEvent(when, next(self._seq), action, owner=self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -99,10 +111,42 @@ class Simulator:
             raise SimulationError(f"periodic interval must be positive: {interval}")
         delay = interval if first_delay is None else first_delay
         event = ScheduledEvent(
-            self.now + delay, next(self._seq), action, periodic=True, interval=interval
+            self.now + delay,
+            next(self._seq),
+            action,
+            periodic=True,
+            interval=interval,
+            owner=self,
         )
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """A handle we issued was cancelled; compact once garbage dominates.
+
+        Cancelled entries stay in the heap (lazy deletion) until either a
+        pop skips them or this threshold rebuild drops them wholesale —
+        without it, long runs that cancel many timers (DHCP renewals, NAT
+        sweeps, fault windows) bloat the heap and slow every push/pop.
+        """
+        self._cancelled_in_queue += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Heap order among live events is fully determined by
+        ``(when, seq)``, so dropping garbage never changes which event
+        runs next — determinism is unaffected.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self.compactions += 1
 
     def _pop_due(self, horizon: float) -> Optional[ScheduledEvent]:
         while self._queue:
@@ -111,6 +155,8 @@ class Simulator:
                 return None
             heapq.heappop(self._queue)
             if head.cancelled:
+                if self._cancelled_in_queue > 0:
+                    self._cancelled_in_queue -= 1
                 continue
             return head
         return None
@@ -152,6 +198,8 @@ class Simulator:
         while self._queue and executed < max_events:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                if self._cancelled_in_queue > 0:
+                    self._cancelled_in_queue -= 1
                 continue
             if event.periodic:
                 # Draining with periodic events would never terminate;

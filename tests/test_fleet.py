@@ -1,0 +1,306 @@
+"""Fleet orchestrator: seeds, pooling, aggregation, snapshot/restore."""
+
+import json
+
+import pytest
+
+from repro.core.errors import FleetError
+from repro.fleet.aggregate import (
+    aggregate,
+    fleet_digest,
+    merge_histograms,
+    render_report,
+    scaling_summary,
+)
+from repro.fleet.checkpoint import (
+    FORMAT,
+    checkpoint_household,
+    fleet_checkpoint_payload,
+    load_checkpoint,
+    load_fleet_checkpoint,
+    resume_household,
+    save_checkpoint,
+)
+from repro.fleet.household import (
+    HouseholdResult,
+    HouseholdSpec,
+    run_household,
+)
+from repro.fleet.pool import run_fleet
+from repro.fleet.seeds import household_seed
+
+
+def small_spec(household_id=0, fleet_seed=7, max_ops=12, duration=90.0):
+    return HouseholdSpec(
+        household_id=household_id,
+        fleet_seed=fleet_seed,
+        max_ops=max_ops,
+        duration=duration,
+    )
+
+
+def small_specs(n, **kwargs):
+    return [small_spec(household_id=i, **kwargs) for i in range(n)]
+
+
+class TestSeeds:
+    def test_deterministic(self):
+        assert household_seed(1, 0) == household_seed(1, 0)
+
+    def test_distinct_per_household(self):
+        seeds = {household_seed(1, i) for i in range(256)}
+        assert len(seeds) == 256
+
+    def test_no_arithmetic_overlap(self):
+        # fleet s household i must not collide with fleet s+1 household
+        # i-1, the failure mode of additive derivation.
+        assert household_seed(5, 3) != household_seed(6, 2)
+
+    def test_non_negative_63_bit(self):
+        for i in range(64):
+            seed = household_seed(99, i)
+            assert 0 <= seed < 2**63
+
+    def test_survives_json(self):
+        seed = household_seed(1, 2)
+        assert json.loads(json.dumps(seed)) == seed
+
+
+class TestHouseholdRoundTrip:
+    def test_spec_dict_round_trip(self):
+        spec = small_spec(household_id=3)
+        clone = HouseholdSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.seed == spec.seed
+
+    def test_result_dict_round_trip(self):
+        result = run_household(small_spec())
+        clone = HouseholdResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.to_dict() == result.to_dict()
+
+    def test_run_household_deterministic(self):
+        first = run_household(small_spec())
+        second = run_household(small_spec())
+        assert first.trace_hash == second.trace_hash
+        assert first.hwdb_digests == second.hwdb_digests
+        assert first.counters == second.counters
+        assert first.events == second.events
+
+    def test_result_carries_latency_histograms(self):
+        result = run_household(small_spec(max_ops=20, duration=200.0))
+        assert result.histograms, "expected at least one latency histogram"
+        for payload in result.histograms.values():
+            assert payload["count"] >= 0
+            assert len(payload["bucket_counts"]) == len(payload["bounds"]) + 1
+
+    def test_metrics_table_excluded_from_digests(self):
+        result = run_household(small_spec())
+        assert "metrics" not in result.hwdb_digests
+
+
+class TestPool:
+    def test_inline_matches_pool(self):
+        specs = small_specs(3)
+        inline = run_fleet(specs, workers=1)
+        pooled = run_fleet(specs, workers=2)
+        assert [r.trace_hash for r in inline] == [r.trace_hash for r in pooled]
+        assert [r.hwdb_digests for r in inline] == [r.hwdb_digests for r in pooled]
+
+    def test_results_sorted_by_household_id(self):
+        results = run_fleet(small_specs(3), workers=2)
+        assert [r.household_id for r in results] == [0, 1, 2]
+
+    def test_on_result_fires_per_household(self):
+        seen = []
+        run_fleet(small_specs(3), workers=1, on_result=lambda r: seen.append(r))
+        assert sorted(r.household_id for r in seen) == [0, 1, 2]
+
+
+class TestAggregate:
+    def test_histogram_merge_sums_counts(self):
+        results = run_fleet(small_specs(3), workers=1)
+        merged = merge_histograms(results)
+        for name, hist in merged.items():
+            expected = sum(
+                r.histograms[name]["count"]
+                for r in results
+                if name in r.histograms
+            )
+            assert hist.count == expected
+
+    def test_report_totals(self):
+        results = run_fleet(small_specs(3), workers=1)
+        report = aggregate(results, workers=1, wall_seconds=1.0, fleet_seed=7)
+        assert report["households"] == 3
+        assert report["events"] == sum(r.events for r in results)
+        assert report["events_per_sec"] == report["events"]
+        assert report["violations"] == []
+        assert set(report["trace_hashes"]) == {"0", "1", "2"}
+        assert report["fleet_digest"] == fleet_digest(results)
+
+    def test_fleet_digest_order_independent_input(self):
+        results = run_fleet(small_specs(3), workers=1)
+        assert fleet_digest(results) == fleet_digest(list(reversed(results)))
+
+    def test_render_report_mentions_digest(self):
+        results = run_fleet(small_specs(2), workers=1)
+        report = aggregate(results, workers=1, wall_seconds=0.5, fleet_seed=7)
+        text = render_report(report)
+        assert report["fleet_digest"][:16] in text
+
+    def test_scaling_summary(self):
+        results = run_fleet(small_specs(2), workers=1)
+        run1 = aggregate(results, workers=1, wall_seconds=2.0, fleet_seed=7)
+        run2 = aggregate(results, workers=2, wall_seconds=1.0, fleet_seed=7)
+        summary = scaling_summary([run2, run1])
+        assert summary["baseline_workers"] == 1
+        assert summary["speedups"]["2"] == pytest.approx(2.0)
+        assert summary["digests_match"] is True
+        assert scaling_summary([run1]) is None
+
+
+class TestHouseholdCheckpoint:
+    def test_resume_matches_uninterrupted(self):
+        spec = small_spec()
+        uninterrupted = run_household(spec)
+        payload = checkpoint_household(spec, stop_before=spec.max_ops // 2)
+        resumed = resume_household(json.loads(json.dumps(payload)))
+        assert resumed.trace_hash == uninterrupted.trace_hash
+        assert resumed.hwdb_digests == uninterrupted.hwdb_digests
+
+    def test_payload_is_json_serializable(self):
+        payload = checkpoint_household(small_spec(), stop_before=4)
+        text = json.dumps(payload, sort_keys=True)
+        assert json.loads(text)["format"] == FORMAT
+
+    def test_tampered_trace_rejected(self):
+        payload = checkpoint_household(small_spec(), stop_before=6)
+        payload["trace"][-1] = payload["trace"][-1] + " tampered"
+        with pytest.raises(FleetError, match="trace"):
+            resume_household(payload)
+
+    def test_tampered_lease_state_rejected(self):
+        payload = checkpoint_household(small_spec(), stop_before=6)
+        payload["state"]["leases"].append({"mac": "02:bb:00:00:00:99"})
+        with pytest.raises(FleetError, match="lease"):
+            resume_household(payload)
+
+    def test_wrong_format_rejected(self):
+        payload = checkpoint_household(small_spec(), stop_before=4)
+        payload["format"] = "repro.fleet/99"
+        with pytest.raises(FleetError, match="format"):
+            resume_household(payload)
+
+    def test_wrong_kind_rejected(self):
+        payload = checkpoint_household(small_spec(), stop_before=4)
+        payload["kind"] = "fleet"
+        with pytest.raises(FleetError, match="household"):
+            resume_household(payload)
+
+
+class TestFleetCheckpoint:
+    CONFIG = {"fleet_seed": 7, "households": 2, "max_ops": 12, "duration": 90.0}
+
+    def test_save_load_round_trip(self, tmp_path):
+        results = run_fleet(small_specs(2), workers=1)
+        payload = fleet_checkpoint_payload(
+            self.CONFIG, {r.household_id: r for r in results}
+        )
+        path = tmp_path / "fleet.ckpt"
+        save_checkpoint(path, payload)
+        completed = load_fleet_checkpoint(path, self.CONFIG)
+        assert sorted(completed) == [0, 1]
+        for result in results:
+            assert (
+                completed[result.household_id].trace_hash == result.trace_hash
+            )
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        save_checkpoint(path, fleet_checkpoint_payload(self.CONFIG, {}))
+        assert path.exists()
+        assert not (tmp_path / "fleet.ckpt.tmp").exists()
+
+    def test_foreign_config_rejected(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        save_checkpoint(path, fleet_checkpoint_payload(self.CONFIG, {}))
+        other = dict(self.CONFIG, fleet_seed=8)
+        with pytest.raises(FleetError, match="different fleet"):
+            load_fleet_checkpoint(path, other)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        path.write_text(json.dumps({"format": "bogus/1"}))
+        with pytest.raises(FleetError, match="format"):
+            load_checkpoint(path)
+
+
+class TestCli:
+    def test_hash_only_run(self):
+        from repro.fleet.cli import main
+
+        assert main(["--households", "2", "--ops", "8", "--hash-only"]) == 0
+
+    def test_bench_sweep_writes_report(self, tmp_path):
+        from repro.fleet.cli import main
+
+        out = tmp_path / "BENCH_FLEET.json"
+        code = main(
+            [
+                "--households",
+                "2",
+                "--ops",
+                "8",
+                "--duration",
+                "60",
+                "--bench-workers",
+                "1,2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["experiment"] == "fleet scaling"
+        assert [run["workers"] for run in report["runs"]] == [1, 2]
+        assert report["scaling"]["digests_match"] is True
+
+    def test_checkpoint_then_resume(self, tmp_path):
+        from repro.fleet.cli import main
+
+        args = ["--households", "3", "--ops", "8", "--duration", "60"]
+        checkpoint = tmp_path / "fleet.ckpt"
+        assert main(args + ["--checkpoint", str(checkpoint)]) == 0
+        assert checkpoint.exists()
+        # Everything is already done; resume should be a fast no-op run.
+        assert main(args + ["--checkpoint", str(checkpoint), "--resume"]) == 0
+
+    def test_resume_without_checkpoint_fails(self):
+        from repro.fleet.cli import main
+
+        with pytest.raises(FleetError, match="--resume"):
+            main(["--households", "2", "--resume"])
+
+    def test_verify_resume(self, tmp_path, monkeypatch):
+        from repro.fleet.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "--households",
+                "4",
+                "--ops",
+                "8",
+                "--duration",
+                "60",
+                "--workers",
+                "1",
+                "--verify-resume",
+            ]
+        )
+        assert code == 0
+
+    def test_module_dispatch(self):
+        from repro.__main__ import main
+
+        assert main(["fleet", "--households", "1", "--ops", "6", "--hash-only"]) == 0

@@ -1,0 +1,212 @@
+"""hwdb snapshot round-trip: serialize → restore must be lossless.
+
+Every standard table (Flows, Links, Leases, Metrics — plus Dns) must
+survive the trip with identical ring-buffer contents, counters and
+digests, and subscriptions must come back with their query text,
+interval and delivery counters intact.  This is the foundation the
+``repro.fleet`` checkpoint format stands on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.clock import SimulatedClock
+from repro.core.errors import HwdbError
+from repro.hwdb import (
+    HomeworkDatabase,
+    install_standard_schema,
+    STANDARD_TABLES,
+)
+from repro.hwdb.snapshot import (
+    FORMAT,
+    database_digests,
+    restore_database,
+    restore_table,
+    snapshot_database,
+    snapshot_table,
+    table_digest,
+)
+from repro.sim.simulator import Simulator
+
+from tests.helpers import join_device, make_permissive_router
+
+
+def make_populated_db(capacity: int = 64):
+    """A standard-schema db with rows in every table (flows wraps the ring)."""
+    clock = SimulatedClock()
+    db = HomeworkDatabase(clock, default_capacity=capacity)
+    install_standard_schema(db)
+    for i in range(capacity + 17):  # force ring wrap on flows
+        clock.advance(0.25)
+        db.insert(
+            "flows",
+            {
+                "src_ip": f"10.2.0.{(i % 200) + 2}",
+                "dst_ip": "31.13.72.36",
+                "proto": 6,
+                "src_port": 40000 + i,
+                "dst_port": 443,
+                "src_mac": f"02:aa:00:00:00:{i % 250:02x}",
+                "packets": i,
+                "bytes": 64 * i,
+            },
+        )
+    db.insert(
+        "links",
+        {"mac": "02:aa:00:00:00:01", "rssi": -42.5, "retries": 3, "packets": 120, "wired": False},
+    )
+    db.insert(
+        "leases",
+        {
+            "mac": "02:aa:00:00:00:01",
+            "ip": "10.2.0.6",
+            "hostname": "toms-air",
+            "action": "granted",
+            "expires": 900.0,
+        },
+    )
+    db.insert(
+        "dns",
+        {"device_ip": "10.2.0.6", "name": "facebook.com", "resolved_ip": "31.13.72.36", "allowed": True},
+    )
+    db.insert("metrics", {"name": "hwdb.insert_total", "kind": "counter", "field": "value", "value": 123.0})
+    db.insert("metrics", {"name": "dhcp.discover_to_ack_sim_seconds", "kind": "histogram", "field": "p95", "value": 0.25})
+    return clock, db
+
+
+def assert_tables_identical(original, restored):
+    assert restored.name == original.name
+    assert restored.capacity == original.capacity
+    assert restored.column_names() == original.column_names()
+    assert restored.total_inserted == original.total_inserted
+    assert restored.last_timestamp == original.last_timestamp
+    assert len(restored) == len(original)
+    assert restored.overwritten == original.overwritten
+    original_rows = [(row.timestamp, row.values) for row in original.rows()]
+    restored_rows = [(row.timestamp, row.values) for row in restored.rows()]
+    assert restored_rows == original_rows
+    assert table_digest(restored) == table_digest(original)
+
+
+class TestTableRoundTrip:
+    def test_every_standard_table_round_trips(self):
+        _clock, db = make_populated_db()
+        clock2 = SimulatedClock()
+        db2 = HomeworkDatabase(clock2)
+        for name in STANDARD_TABLES:
+            restore_table(db2, snapshot_table(db.table(name)))
+            assert_tables_identical(db.table(name), db2.table(name))
+
+    def test_snapshot_is_json_serializable(self):
+        _clock, db = make_populated_db()
+        payload = json.dumps(snapshot_database(db), sort_keys=True)
+        snap = json.loads(payload)
+        db2 = HomeworkDatabase(SimulatedClock())
+        restore_database(db2, snap)
+        assert database_digests(db2, exclude_tables=()) == database_digests(
+            db, exclude_tables=()
+        )
+
+    def test_wrapped_ring_keeps_overwritten_count(self):
+        _clock, db = make_populated_db(capacity=32)
+        flows = db.table("flows")
+        assert flows.overwritten > 0  # the setup wrapped the ring
+        db2 = HomeworkDatabase(SimulatedClock())
+        restored = restore_table(db2, snapshot_table(flows))
+        assert restored.overwritten == flows.overwritten
+        # Post-restore inserts keep overwriting the oldest slot.
+        before_oldest = restored.oldest().values
+        db2.insert("flows", flows.row_as_dict(flows.newest()))
+        assert restored.oldest().values != before_oldest
+
+    def test_restore_refuses_existing_table(self):
+        _clock, db = make_populated_db()
+        with pytest.raises(HwdbError):
+            restore_table(db, snapshot_table(db.table("flows")))
+
+    def test_restore_refuses_unknown_format(self):
+        db2 = HomeworkDatabase(SimulatedClock())
+        with pytest.raises(HwdbError):
+            restore_database(db2, {"format": "repro.hwdb/999", "tables": []})
+        assert FORMAT == "repro.hwdb/1"
+
+
+class TestSubscriptionRoundTrip:
+    def test_subscription_state_survives(self):
+        sim = Simulator(seed=3)
+        db = HomeworkDatabase(sim.clock, default_capacity=64)
+        db.attach_scheduler(sim)
+        install_standard_schema(db)
+        deliveries = []
+        sub = db.subscribe(
+            "SELECT src_mac, sum(bytes) AS b FROM flows [RANGE 10 SECONDS] GROUP BY src_mac",
+            interval=1.0,
+            callback=deliveries.append,
+        )
+        for i in range(20):
+            db.insert(
+                "flows",
+                {
+                    "src_ip": "10.2.0.6",
+                    "dst_ip": "10.2.0.7",
+                    "proto": 17,
+                    "src_port": 1000 + i,
+                    "dst_port": 53,
+                    "src_mac": "02:aa:00:00:00:01",
+                    "packets": 1,
+                    "bytes": 100,
+                },
+            )
+            sim.run_for(0.5)
+        assert sub.executions > 0 and sub.deliveries > 0
+
+        snap = snapshot_database(db)
+        sim2 = Simulator(seed=3)
+        db2 = HomeworkDatabase(sim2.clock, default_capacity=64)
+        db2.attach_scheduler(sim2)
+        restored = restore_database(db2, snap)
+
+        assert len(restored) == 1
+        restored_sub = restored[0]
+        assert restored_sub.interval == sub.interval
+        assert restored_sub.deliver_empty == sub.deliver_empty
+        assert restored_sub.executions == sub.executions
+        assert restored_sub.deliveries == sub.deliveries
+        # The restored query is live: the timer fires and executes it.
+        executions_before = restored_sub.executions
+        sim2.run_for(2.0)
+        assert restored_sub.executions > executions_before
+
+    def test_restore_without_scheduler_leaves_timer_unarmed(self):
+        sim = Simulator(seed=4)
+        db = HomeworkDatabase(sim.clock)
+        db.attach_scheduler(sim)
+        install_standard_schema(db)
+        db.subscribe("SELECT count(*) FROM flows", interval=2.0, callback=lambda r: None)
+        snap = snapshot_database(db)
+        db2 = HomeworkDatabase(SimulatedClock())
+        restored = restore_database(db2, snap)
+        assert restored[0]._timer is None
+        # fire() still works manually.
+        assert restored[0].fire() is not None
+
+
+class TestRouterDatabaseRoundTrip:
+    def test_live_router_database_round_trips(self):
+        """Integration: a real household's hwdb survives the trip."""
+        sim, router = make_permissive_router(seed=11)
+        laptop = join_device(router, "laptop", "02:aa:00:00:00:01")
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        laptop.udp_send(router.config.upstream_ip, 9999, b"hello")
+        tv.resolve("facebook.com", lambda ip, rc: None)
+        sim.run_for(20.0)
+
+        snap = snapshot_database(router.db, exclude_tables=("metrics",))
+        db2 = HomeworkDatabase(SimulatedClock())
+        restore_database(db2, snap)
+        assert database_digests(db2) == database_digests(router.db)
+        for name in db2.tables():
+            assert_tables_identical(router.db.table(name), db2.table(name))

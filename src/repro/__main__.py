@@ -9,6 +9,7 @@ Subcommands::
     python -m repro lint        # repro-lint: repo-specific static analysis
     python -m repro fuzz        # deterministic scenario fuzzing (repro.check)
     python -m repro fleet       # sharded multi-household runs (repro.fleet)
+    python -m repro explain     # show the query engine's plan for a CQL query
 
 Each demo runs entirely in simulated time and shows what the paper's
 demo visitors would have seen.  All CLI output flows through ``logging``
@@ -174,8 +175,41 @@ def cmd_metrics(seed: int) -> int:
     return 0
 
 
+def cmd_explain(argv) -> int:
+    """``repro explain [--analyze] "<select>"`` against a demo household.
+
+    Builds the standard household (so the standard schema and realistic
+    traffic exist), then shows how :class:`repro.query.QueryEngine`
+    would run the query: chosen tier, optimizer rewrites, operator tree
+    and — with ``--analyze`` — observed row counts and timings.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="Show the query engine's plan for a CQL SELECT",
+    )
+    parser.add_argument("query", help="the SELECT statement to explain")
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute once and annotate operators with rows/timings",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="simulation seed")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose)
+    _sim, router, *_ = _build_household(args.seed)
+    prefix = "EXPLAIN ANALYZE " if args.analyze else "EXPLAIN "
+    result = router.db.query(prefix + args.query)
+    for (line,) in result.rows:
+        say(line)
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "explain":
+        # The explain subcommand takes a free-form query argument.
+        return cmd_explain(argv[1:])
     if argv and argv[0] == "lint":
         # The linter owns its own argument set; hand everything through.
         from .analysis.cli import main as lint_main
@@ -200,7 +234,16 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "figures", "stats", "metrics", "lint", "fuzz", "fleet"],
+        choices=[
+            "demo",
+            "figures",
+            "stats",
+            "metrics",
+            "lint",
+            "fuzz",
+            "fleet",
+            "explain",
+        ],
         help="which walk-through to run (default: demo)",
     )
     parser.add_argument("--seed", type=int, default=42, help="simulation seed")

@@ -8,15 +8,17 @@ never above):
  1      ``net`` (+ ``core.config``, shared config vocabulary)
  2      ``openflow``
  3      ``hwdb``
- 4      ``nox``
- 5      ``services``
- 6      ``policy``
- 7      ``measurement``
- 8      ``obs``
- 9      ``sim``
- 10     app — ``ui``, ``core.router``, the package roots, ``analysis``,
+ 4      ``query`` — the continuous-query engine compiles hwdb's CQL and
+        drives its tables, but hwdb never imports it (duck-typed attach)
+ 5      ``nox``
+ 6      ``services``
+ 7      ``policy``
+ 8      ``measurement``
+ 9      ``obs``
+ 10     ``sim``
+ 11     app — ``ui``, ``core.router``, the package roots, ``analysis``,
         ``check`` (the fuzzer drives the whole stack)
- 11     ``fleet`` + ``__main__`` — multi-household orchestration over
+ 12     ``fleet`` + ``__main__`` — multi-household orchestration over
         whole routers; the CLI dispatcher sits here because it (lazily)
         imports every subcommand, fleet included
 ====== =====================================================
@@ -46,20 +48,21 @@ LAYER_PREFIXES: Tuple[Tuple[int, str], ...] = (
     (1, "repro.core.config"),
     (2, "repro.openflow"),
     (3, "repro.hwdb"),
-    (4, "repro.nox"),
-    (5, "repro.services"),
-    (6, "repro.policy"),
-    (7, "repro.measurement"),
-    (8, "repro.obs"),
-    (9, "repro.sim"),
-    (10, "repro.ui"),
-    (10, "repro.core.router"),
-    (10, "repro.core"),
-    (10, "repro.analysis"),
-    (10, "repro.check"),
-    (11, "repro.fleet"),
-    (11, "repro.__main__"),
-    (10, "repro"),
+    (4, "repro.query"),
+    (5, "repro.nox"),
+    (6, "repro.services"),
+    (7, "repro.policy"),
+    (8, "repro.measurement"),
+    (9, "repro.obs"),
+    (10, "repro.sim"),
+    (11, "repro.ui"),
+    (11, "repro.core.router"),
+    (11, "repro.core"),
+    (11, "repro.analysis"),
+    (11, "repro.check"),
+    (12, "repro.fleet"),
+    (12, "repro.__main__"),
+    (11, "repro"),
 )
 
 LAYER_NAMES: Dict[int, str] = {
@@ -67,14 +70,15 @@ LAYER_NAMES: Dict[int, str] = {
     1: "net",
     2: "openflow",
     3: "hwdb",
-    4: "nox",
-    5: "services",
-    6: "policy",
-    7: "measurement",
-    8: "obs",
-    9: "sim",
-    10: "app",
-    11: "fleet",
+    4: "query",
+    5: "nox",
+    6: "services",
+    7: "policy",
+    8: "measurement",
+    9: "obs",
+    10: "sim",
+    11: "app",
+    12: "fleet",
 }
 
 

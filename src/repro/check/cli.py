@@ -5,6 +5,7 @@ Modes::
     python -m repro fuzz --seed 1 --scenarios 100   # a corpus sweep
     python -m repro fuzz --seed 7 --hash-only       # just the trace hash
     python -m repro fuzz --replay repro.json        # re-run a repro file
+    python -m repro fuzz --cql-queries 500          # engine vs legacy CQL diff
 
 A corpus sweep runs ``--scenarios`` seeds starting at ``--seed``; every
 invariant violation is shrunk to a minimal scenario and written as a
@@ -170,6 +171,13 @@ def main(argv=None) -> int:
         default=None,
         help="max scenario re-runs spent shrinking each failure",
     )
+    parser.add_argument(
+        "--cql-queries",
+        type=int,
+        default=None,
+        help="run N differential CQL queries (query engine vs legacy "
+        "executor) instead of scenario fuzzing",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -177,6 +185,10 @@ def main(argv=None) -> int:
 
     configure_logging(verbose=args.verbose)
 
+    if args.cql_queries is not None:
+        from .cql_fuzz import fuzz_cql
+
+        return fuzz_cql(args.cql_queries, args.seed, say=say)
     if args.replay is not None:
         return replay(args.replay)
     return fuzz_corpus(

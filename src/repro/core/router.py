@@ -33,6 +33,7 @@ from ..obs import MetricsFlusher, MetricsRegistry
 from ..openflow.channel import SecureChannel
 from ..openflow.datapath import Datapath
 from ..policy.engine import PolicyEngine
+from ..query.engine import QueryEngine
 from ..services.control_api.api import ControlApi
 from ..services.dhcp.server import DhcpServer
 from ..services.dnsproxy.proxy import DnsProxy
@@ -94,6 +95,10 @@ class HomeworkRouter:
         )
         install_standard_schema(self.db)
         self.db.attach_scheduler(sim)
+        # The continuous-query engine self-attaches to the database:
+        # every SELECT (ad-hoc, RPC, subscription) now routes through
+        # its plan cache and incremental maintenance.
+        self.query_engine = QueryEngine(self.db, registry=self.metrics)
         self.rpc_server = RpcServer(self.db, registry=self.metrics)
         self.aggregator = BandwidthAggregator(self.db)
 

@@ -38,6 +38,9 @@ COUNTER_METRICS = (
     "openflow.flow_mod_total",
     "dhcp.ack_total",
     "dnsproxy.query_total",
+    "query.incremental_tick_total",
+    "query.full_tick_total",
+    "query.fallback_total",
 )
 
 

@@ -162,6 +162,22 @@ class Select:
         return f"Select(sources={self.sources}, star={self.star})"
 
 
+class Explain:
+    """EXPLAIN [ANALYZE] <select> — show the engine's plan for a query.
+
+    Plain EXPLAIN renders the compiled operator DAG; EXPLAIN ANALYZE
+    also executes the query once and annotates each operator with
+    observed row counts and timings.
+    """
+
+    def __init__(self, select: Select, analyze: bool = False):
+        self.select = select
+        self.analyze = analyze
+
+    def __repr__(self) -> str:
+        return f"Explain(analyze={self.analyze}, {self.select!r})"
+
+
 class Insert:
     """INSERT INTO table [(cols)] VALUES (literals)."""
 

@@ -490,3 +490,19 @@ def _order_rows(
             reverse=item.descending,
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Public aliases for the query engine
+# ----------------------------------------------------------------------
+# ``repro.query`` compiles SELECTs into an operator DAG but reuses this
+# module's row model and evaluation semantics wholesale, so the two
+# execution paths cannot drift apart.  These names are that contract.
+
+Binding = _Binding
+group_bindings = _group
+order_rows = _order_rows
+projection_name = _projection_name
+star_projections = _star_projections
+has_aggregate = _has_aggregate
+truthy = _truthy

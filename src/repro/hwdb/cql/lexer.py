@@ -53,6 +53,8 @@ KEYWORDS = {
     "milliseconds",
     "millisecond",
     "on",
+    "explain",
+    "analyze",
 }
 
 # Multi-char operators first so they win the scan.

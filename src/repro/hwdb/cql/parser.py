@@ -9,6 +9,7 @@ from .ast_nodes import (
     Binary,
     ColumnRef,
     CreateTable,
+    Explain,
     Expr,
     FunctionCall,
     InList,
@@ -28,7 +29,7 @@ from .ast_nodes import (
 )
 from .lexer import Token, TokenStream, tokenize
 
-Statement = Union[Select, Insert, CreateTable]
+Statement = Union[Select, Insert, CreateTable, Explain]
 
 _UNIT_SECONDS = {
     "millisecond": 0.001,
@@ -65,6 +66,15 @@ def _parse_statement(s: TokenStream) -> Statement:
         return _parse_insert(s)
     if s.at_keyword("create"):
         return _parse_create(s)
+    if s.at_keyword("explain"):
+        s.next()
+        analyze = bool(s.accept("keyword", "analyze"))
+        if not s.at_keyword("select"):
+            token = s.peek()
+            raise QueryError(
+                f"EXPLAIN takes a SELECT statement, got {token.value!r}"
+            )
+        return Explain(_parse_select(s), analyze=analyze)
     token = s.peek()
     raise QueryError(f"expected a statement, got {token.value!r}")
 

@@ -12,6 +12,7 @@ from .ast_nodes import (
     Binary,
     ColumnRef,
     CreateTable,
+    Explain,
     Expr,
     FunctionCall,
     InList,
@@ -128,6 +129,9 @@ def unparse(statement) -> str:
         if statement.limit is not None:
             parts.append(f"LIMIT {statement.limit}")
         return " ".join(parts)
+    if isinstance(statement, Explain):
+        prefix = "EXPLAIN ANALYZE " if statement.analyze else "EXPLAIN "
+        return prefix + unparse(statement.select)
     if isinstance(statement, Insert):
         columns = (
             " (" + ", ".join(statement.columns) + ")" if statement.columns else ""

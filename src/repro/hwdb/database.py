@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.clock import Clock
 from ..core.errors import HwdbError, QueryError
-from .cql.ast_nodes import CreateTable, Insert, Select
+from .cql.ast_nodes import CreateTable, Explain, Insert, Select
 from .cql.executor import ResultSet, execute_select
 from .cql.parser import parse
 from .table import Column, StreamTable
@@ -68,6 +68,10 @@ class Subscription:
         """
         if not self.active:
             return None
+        timer = (
+            self.db._registry.clock if self.db._registry is not None else None
+        )
+        started = timer() if timer is not None else None
         try:
             result = self.db.execute_parsed(self.select)
         except HwdbError:
@@ -76,6 +80,8 @@ class Subscription:
             )
             self.cancel()
             return None
+        if started is not None:
+            self.db._m_sub_fire.observe(timer() - started)
         self.executions += 1
         if result.rows or self.deliver_empty:
             self.deliveries += 1
@@ -109,6 +115,7 @@ class HomeworkDatabase:
         self._tables: Dict[str, StreamTable] = {}
         self._subscriptions: Dict[int, Subscription] = {}
         self._scheduler = None  # set via attach_scheduler
+        self._engine = None  # set via set_query_engine
         self.queries_executed = 0
         self.inserts = 0
         self.set_registry(registry)
@@ -121,11 +128,26 @@ class HomeworkDatabase:
             self._m_queries = None
             self._m_append = None
             self._m_query_lat = None
+            self._m_subs_active = None
+            self._m_sub_fire = None
         else:
             self._m_inserts = registry.counter("hwdb.insert_total")
             self._m_queries = registry.counter("hwdb.query_total")
             self._m_append = registry.histogram("hwdb.append_seconds")
             self._m_query_lat = registry.histogram("hwdb.query_seconds")
+            self._m_subs_active = registry.gauge("hwdb.subscriptions_active")
+            self._m_sub_fire = registry.histogram("hwdb.subscription_fire_seconds")
+
+    def set_query_engine(self, engine) -> None:
+        """Attach a continuous-query engine (duck-typed so hwdb never
+        imports :mod:`repro.query`, which sits a layer above).
+
+        When attached, SELECTs route through ``engine.execute_select``
+        and EXPLAIN through ``engine.explain``; the engine is expected
+        to be behaviourally identical to the legacy executor, falling
+        back to it whenever in doubt.
+        """
+        self._engine = engine
 
     @property
     def now(self) -> float:
@@ -156,12 +178,16 @@ class HomeworkDatabase:
         cols = [Column(cname, type_by_name(tname)) for cname, tname in columns]
         table = StreamTable(key, cols, capacity or self.default_capacity)
         self._tables[key] = table
+        if self._engine is not None:
+            self._engine.invalidate()
         return table
 
     def drop_table(self, name: str) -> None:
         if name.lower() not in self._tables:
             raise HwdbError(f"no such table {name!r}")
         del self._tables[name.lower()]
+        if self._engine is not None:
+            self._engine.invalidate()
 
     def table(self, name: str) -> StreamTable:
         try:
@@ -218,10 +244,18 @@ class HomeworkDatabase:
                 self._m_queries.inc()
                 timer = self._registry.clock
                 t0 = timer()
-                result = execute_select(statement, self._tables, self.now)
+                result = self._execute_select(statement)
                 self._m_query_lat.observe(timer() - t0)
                 return result
-            return execute_select(statement, self._tables, self.now)
+            return self._execute_select(statement)
+        if isinstance(statement, Explain):
+            if self._engine is None:
+                return ResultSet(
+                    ["plan"],
+                    [("legacy executor (no query engine attached)",)],
+                    executed_at=self.now,
+                )
+            return self._engine.explain(statement, self._tables, self.now)
         if isinstance(statement, Insert):
             table = self.table(statement.table)
             if statement.columns is not None:
@@ -237,6 +271,11 @@ class HomeworkDatabase:
             self.create_table(statement.table, statement.columns, statement.buffer_rows)
             return ResultSet(["created"], [(statement.table,)], executed_at=self.now)
         raise QueryError(f"unsupported statement type {type(statement).__name__}")
+
+    def _execute_select(self, statement: Select) -> ResultSet:
+        if self._engine is not None:
+            return self._engine.execute_select(statement, self._tables, self.now)
+        return execute_select(statement, self._tables, self.now)
 
     # ------------------------------------------------------------------
     # Subscriptions
@@ -258,6 +297,12 @@ class HomeworkDatabase:
             raise QueryError("only SELECT statements can be subscribed")
         subscription = Subscription(self, statement, interval, callback, deliver_empty)
         self._subscriptions[subscription.id] = subscription
+        if self._m_subs_active is not None:
+            self._m_subs_active.set(float(len(self._subscriptions)))
+        if self._engine is not None:
+            # Pin the compiled plan: subscriptions outlive ad-hoc cache
+            # churn and carry the incremental state between fires.
+            self._engine.attach_subscription(statement)
         if start:
             if self._scheduler is None:
                 raise HwdbError(
@@ -279,7 +324,11 @@ class HomeworkDatabase:
         return list(self._subscriptions.values())
 
     def _drop_subscription(self, sub_id: int) -> None:
-        self._subscriptions.pop(sub_id, None)
+        subscription = self._subscriptions.pop(sub_id, None)
+        if self._m_subs_active is not None:
+            self._m_subs_active.set(float(len(self._subscriptions)))
+        if subscription is not None and self._engine is not None:
+            self._engine.detach_subscription(subscription.select)
 
     def stats(self) -> Dict[str, Any]:
         return {

@@ -101,25 +101,44 @@ def _decode_value(token: str):
 
 
 def pack_resultset(result: ResultSet) -> str:
-    """Serialise a result set to the wire text form."""
-    lines = ["\t".join(_escape(c) for c in result.columns)]
+    """Serialise a result set to the wire text form.
+
+    The first line carries the query's execution time as ``@<repr>``
+    (``@`` cannot start a column name, which is always an identifier or
+    a dotted/qualified identifier), so subscribers see *when* the
+    answer was computed, not just what it was.
+    """
+    lines = [f"@{result.executed_at!r}"]
+    lines.append("\t".join(_escape(c) for c in result.columns))
     for row in result.rows:
         lines.append("\t".join(_encode_value(v) for v in row))
     return "\n".join(lines)
 
 
 def unpack_resultset(text: str) -> ResultSet:
-    """Parse the wire text form back into a :class:`ResultSet`."""
+    """Parse the wire text form back into a :class:`ResultSet`.
+
+    Accepts payloads with or without the leading ``@executed_at`` line
+    (older peers omit it; ``executed_at`` is then 0.0, the
+    :class:`ResultSet` default).
+    """
     lines = text.split("\n")
+    executed_at = 0.0
+    if lines and lines[0].startswith("@"):
+        stamp = lines.pop(0)[1:]
+        try:
+            executed_at = float(stamp)
+        except ValueError:
+            raise RpcError(f"malformed execution timestamp {stamp!r}") from None
     if not lines or not lines[0]:
-        return ResultSet([], [])
+        return ResultSet([], [], executed_at=executed_at)
     columns = [_unescape(c) for c in lines[0].split("\t")]
     rows: List[Tuple] = []
     for line in lines[1:]:
         if not line:
             continue
         rows.append(tuple(_decode_value(tok) for tok in line.split("\t")))
-    return ResultSet(columns, rows)
+    return ResultSet(columns, rows, executed_at=executed_at)
 
 
 class RpcServer:

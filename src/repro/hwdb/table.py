@@ -161,6 +161,33 @@ class StreamTable:
                 result.append(row)
         return result
 
+    @property
+    def append_seq(self) -> int:
+        """Sequence number of the newest row (1-based; 0 = empty history).
+
+        Every insert gets the next sequence number, so the retained rows
+        are exactly those with seq in ``(overwritten, total_inserted]``.
+        The query engine's delta scans watermark on this.
+        """
+        return self.total_inserted
+
+    def rows_with_seq_since(self, seq: int) -> List[Tuple[int, Row]]:
+        """Rows appended after sequence number ``seq``, oldest first.
+
+        Returns ``(seq, row)`` pairs.  Rows that were appended *and*
+        already overwritten since the watermark are gone — the caller
+        sees only what the ring still retains, which is also all any
+        full rescan at this instant could see.
+        """
+        missed = self.total_inserted - seq
+        if missed <= 0:
+            return []
+        n = min(missed, self._count)
+        first_seq = self.total_inserted - n + 1
+        return [
+            (first_seq + i, row) for i, row in enumerate(self.last_rows(n))
+        ]
+
     def newest(self) -> Optional[Row]:
         if self._count == 0:
             return None

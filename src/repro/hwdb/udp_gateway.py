@@ -10,6 +10,12 @@ provides the genuine wire path for when fidelity matters:
 * :class:`RemoteHwdbClient` runs on any other host and issues
   queries/subscriptions as UDP datagrams routed through the network —
   pushes arrive asynchronously at the subscriber's port.
+
+Result payloads carry the ``@executed_at`` preamble emitted by
+:func:`~repro.hwdb.rpc.pack_resultset`, so remote subscribers learn
+*when* each answer was computed; ``EXPLAIN [ANALYZE]`` statements need
+no dedicated verb — they travel as ordinary ``QUERY`` requests and come
+back as a one-column result set of plan lines.
 """
 
 from __future__ import annotations

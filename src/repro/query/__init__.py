@@ -1,0 +1,20 @@
+"""repro.query — incremental continuous-query engine for hwdb.
+
+Compiles CQL SELECTs into operator-DAG plans, maintains windowed
+aggregates incrementally between subscription ticks, shares scans
+across subscriptions, and falls back to the legacy executor whenever it
+cannot prove bit-identical behaviour.  See DESIGN.md §12.
+"""
+
+from .engine import QueryEngine
+from .incremental import NotIncremental, build_incremental
+from .plan import Plan, PlanNotSupported, compile_select
+
+__all__ = [
+    "QueryEngine",
+    "Plan",
+    "PlanNotSupported",
+    "compile_select",
+    "NotIncremental",
+    "build_incremental",
+]

@@ -1,0 +1,225 @@
+"""The continuous-query engine facade.
+
+One :class:`QueryEngine` sits next to a :class:`HomeworkDatabase` (the
+router constructs it; the database talks to it only through the
+duck-typed ``set_query_engine`` hook, keeping hwdb below this package
+in the layer DAG).  Every SELECT the database executes routes here:
+
+1. The plan cache (keyed by the query's *normalized* unparse text, so
+   formatting differences share an entry) yields or compiles a cache
+   entry in one of three modes:
+
+   * ``incremental`` — windowed-aggregate state maintained across
+     ticks (:mod:`.incremental`);
+   * ``plan`` — full re-execution of the compiled operator DAG, with
+     cross-query scan sharing (:mod:`.plan`, :mod:`.share`);
+   * ``legacy`` — the original executor, for anything the planner
+     cannot prove it reproduces exactly.
+
+2. If a plan-tier or incremental execution raises anyway, the engine
+   answers with the legacy executor.  An :class:`HwdbError` means the
+   legacy path raises (or handles) the same condition authoritatively,
+   so the entry stays live; any other exception is an engine defect —
+   the entry is poisoned to legacy mode, logged, and counted, and the
+   caller still gets the legacy answer.  Subscriptions therefore can
+   never be broken by the optimizer, only slowed down.
+
+Subscriptions pin their cache entries (``attach_subscription``) so LRU
+eviction only ever discards ad-hoc queries; DDL invalidates everything.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import HwdbError
+from ..hwdb.cql.ast_nodes import Explain, Select
+from ..hwdb.cql.executor import ResultSet, execute_select as legacy_execute
+from ..hwdb.cql.unparse import unparse
+from .explain import render_plan
+from .incremental import IncrementalState, NotIncremental, build_incremental
+from .plan import Plan, PlanNotSupported, compile_select
+from .share import ShareCache
+from .stats import EngineMetrics
+
+logger = logging.getLogger(__name__)
+
+#: Unpinned plan-cache entries beyond this are evicted, oldest first.
+PLAN_CACHE_SIZE = 256
+
+MODE_INCREMENTAL = "incremental"
+MODE_PLAN = "plan"
+MODE_LEGACY = "legacy"
+
+
+class _CacheEntry:
+    __slots__ = ("plan", "state", "mode", "reason")
+
+    def __init__(
+        self,
+        plan: Optional[Plan],
+        state: Optional[IncrementalState],
+        mode: str,
+        reason: Optional[str],
+    ):
+        self.plan = plan
+        self.state = state
+        self.mode = mode
+        self.reason = reason
+
+
+class QueryEngine:
+    """Compiles, caches, shares and incrementally maintains SELECTs."""
+
+    def __init__(self, db, registry=None):
+        self.db = db
+        self.metrics = EngineMetrics(registry)
+        self.share = ShareCache()
+        self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._pins: Dict[str, int] = {}
+        self._share_now: Optional[float] = None
+        db.set_query_engine(self)
+
+    # -- plan cache ----------------------------------------------------
+
+    def _entry_for(self, select: Select, tables, text: str) -> _CacheEntry:
+        entry = self._cache.get(text)
+        if entry is not None:
+            self.metrics.plan_cache_hit()
+            self._cache.move_to_end(text)
+            return entry
+        self.metrics.plan_cache_miss()
+        entry = self._compile(select, tables)
+        self._cache[text] = entry
+        self._evict_unpinned()
+        return entry
+
+    def _compile(self, select: Select, tables) -> _CacheEntry:
+        try:
+            plan = compile_select(select, tables)
+        except PlanNotSupported as exc:
+            return _CacheEntry(None, None, MODE_LEGACY, str(exc))
+        try:
+            state = build_incremental(plan)
+        except NotIncremental as exc:
+            return _CacheEntry(plan, None, MODE_PLAN, str(exc))
+        return _CacheEntry(plan, state, MODE_INCREMENTAL, None)
+
+    def _evict_unpinned(self) -> None:
+        excess = len(self._cache) - PLAN_CACHE_SIZE
+        if excess <= 0:
+            return
+        for text in list(self._cache):
+            if excess <= 0:
+                break
+            if text in self._pins:
+                continue
+            del self._cache[text]
+            excess -= 1
+
+    def invalidate(self) -> None:
+        """Schema changed: every compiled plan may be stale.  Pins are
+        kept — the subscription still exists and recompiles on its next
+        fire."""
+        self._cache.clear()
+        self.share.clear()
+
+    # -- subscription pinning ------------------------------------------
+
+    def attach_subscription(self, select: Select) -> None:
+        text = unparse(select)
+        self._pins[text] = self._pins.get(text, 0) + 1
+
+    def detach_subscription(self, select: Select) -> None:
+        text = unparse(select)
+        remaining = self._pins.get(text, 0) - 1
+        if remaining > 0:
+            self._pins[text] = remaining
+        else:
+            self._pins.pop(text, None)
+
+    @property
+    def pinned_count(self) -> int:
+        return len(self._pins)
+
+    # -- execution -----------------------------------------------------
+
+    def execute_select(self, select: Select, tables, now: float) -> ResultSet:
+        """Run ``select``; behaviourally identical to the legacy
+        :func:`execute_select`, which remains the arbiter on any doubt."""
+        text = unparse(select)
+        entry = self._entry_for(select, tables, text)
+        if entry.mode == MODE_LEGACY:
+            self.metrics.fallback()
+            return legacy_execute(select, tables, now)
+        if self._share_now != now:
+            # Scan sharing is only sound within one instant: windows and
+            # now() are functions of the clock.
+            self.share.clear()
+            self._share_now = now
+        timer = self.metrics.timer
+        started = timer() if timer is not None else None
+        try:
+            if entry.mode == MODE_INCREMENTAL:
+                result = entry.state.tick(tables, now)
+                self.metrics.incremental_tick()
+            else:
+                result = entry.plan.execute(
+                    tables, now, share=self.share, timer=timer
+                )
+                self.metrics.full_tick()
+        except HwdbError:
+            # Hwdb-level conditions (table dropped mid-tick, ...) are the
+            # legacy executor's to answer — same inputs, same outcome.
+            self.metrics.fallback()
+            return legacy_execute(select, tables, now)
+        except Exception:
+            logger.warning(
+                "query engine failed on %r; poisoning entry to legacy mode",
+                text,
+                exc_info=True,
+            )
+            self.metrics.plan_error()
+            entry.mode = MODE_LEGACY
+            entry.reason = "runtime failure; see log"
+            entry.state = None
+            self.metrics.fallback()
+            return legacy_execute(select, tables, now)
+        if started is not None:
+            self.metrics.observe_tick(timer() - started)
+        self._record_share_metrics()
+        return result
+
+    def _record_share_metrics(self) -> None:
+        self.metrics.share_hit(self.share.hits)
+        self.metrics.share_miss(self.share.misses)
+        self.share.hits = 0
+        self.share.misses = 0
+
+    # -- EXPLAIN -------------------------------------------------------
+
+    def explain(self, statement: Explain, tables, now: float) -> ResultSet:
+        select = statement.select
+        text = unparse(select)
+        entry = self._entry_for(select, tables, text)
+        if statement.analyze:
+            self.execute_select(select, tables, now)
+            # The run may have poisoned (or re-created) the entry.
+            entry = self._cache.get(text, entry)
+        lines = render_plan(
+            text,
+            entry.mode,
+            entry.reason,
+            entry.plan,
+            entry.state,
+            statement.analyze,
+        )
+        return ResultSet(["plan"], [(line,) for line in lines], executed_at=now)
+
+    # -- introspection -------------------------------------------------
+
+    def cache_info(self) -> List[Tuple[str, str]]:
+        """(query text, mode) pairs, LRU order — for tests and debugging."""
+        return [(text, entry.mode) for text, entry in self._cache.items()]

@@ -1,0 +1,594 @@
+"""Operator-DAG plans for CQL SELECT statements.
+
+``compile_select`` turns a parsed :class:`Select` into a small tree of
+operators (scan -> join -> filter -> aggregate/project -> distinct ->
+sort -> limit) with the optimizer's rewrites baked in.  The operators
+reuse the legacy executor's row model (:class:`Binding`), grouping,
+ordering and expression evaluation wholesale, so for any query the
+planner accepts, plan execution is provably row-for-row identical to
+:func:`repro.hwdb.cql.executor.execute_select`.
+
+The one thing the planner must *never* do is change which errors a
+query raises.  The legacy executor surfaces most errors data-
+dependently — an unknown column only raises once a row exists to
+resolve it against, ``sum()`` without arguments only raises when a
+group is evaluated, HAVING is silently ignored on non-aggregated
+queries.  The planner therefore enforces a ``resolvable_all``
+precondition: every column reference must resolve statically, every
+function must be known, every aggregate well-formed.  Anything short of
+that raises :class:`PlanNotSupported` at compile time and the engine
+runs the query on the legacy executor, which reproduces the quirky
+behaviour by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import QueryError
+from ..hwdb.cql.ast_nodes import (
+    Binary,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    Literal,
+    OrderItem,
+    Projection,
+    Select,
+    TableRef,
+    Unary,
+    W_ALL,
+    W_NOW,
+    W_RANGE,
+    W_ROWS,
+    W_SINCE,
+    Window,
+)
+from ..hwdb.cql.executor import (
+    Binding,
+    Evaluator,
+    ResultSet,
+    apply_window,
+    group_bindings,
+    has_aggregate,
+    order_rows,
+    projection_name,
+    star_projections,
+    truthy,
+)
+from ..hwdb.cql.parser import AGGREGATE_FUNCTIONS, SCALAR_FUNCTIONS
+from ..hwdb.cql.unparse import unparse, unparse_expr
+from ..hwdb.table import StreamTable, TS_COLUMN
+from .optimize import (
+    alias_normalised_key,
+    and_chain,
+    needed_columns,
+    rewrite_where,
+)
+from .share import ShareCache
+from .stats import OperatorStats
+
+_WINDOW_KINDS = (W_ALL, W_NOW, W_RANGE, W_ROWS, W_SINCE)
+
+
+class PlanNotSupported(Exception):
+    """The planner cannot prove this SELECT error-free; run it on the
+    legacy executor instead.  Not an error — a routing decision."""
+
+
+class ExecContext:
+    """Everything one plan execution needs, bundled for the operators."""
+
+    __slots__ = ("tables", "now", "evaluator", "stats", "share", "timer")
+
+    def __init__(
+        self,
+        tables: Dict[str, StreamTable],
+        now: float,
+        stats: OperatorStats,
+        share: Optional[ShareCache] = None,
+        timer: Optional[Callable[[], float]] = None,
+    ):
+        self.tables = tables
+        self.now = now
+        self.evaluator = Evaluator(now)
+        self.stats = stats
+        self.share = share
+        self.timer = timer
+
+
+class PlanNode:
+    """Base operator.  ``run`` produces output; ``execute`` adds stats.
+
+    Recorded time is cumulative — it includes the node's children,
+    since each node pulls its inputs by calling ``child.execute``.
+    EXPLAIN ANALYZE presents it that way.
+    """
+
+    kind = "node"
+
+    def __init__(self, children: Tuple["PlanNode", ...] = ()):
+        self.children: List[PlanNode] = list(children)
+        self.node_id = -1  # assigned by Plan
+
+    def describe(self) -> str:
+        return self.kind
+
+    def run(self, ctx: ExecContext) -> List:
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecContext) -> List:
+        timer = ctx.timer
+        if timer is None:
+            out = self.run(ctx)
+            ctx.stats.record(self.node_id, len(out), 0.0)
+            return out
+        started = timer()
+        out = self.run(ctx)
+        ctx.stats.record(self.node_id, len(out), timer() - started)
+        return out
+
+
+def _window_text(window: Window) -> str:
+    if window.kind == W_ALL:
+        return ""
+    if window.kind == W_NOW:
+        return " [NOW]"
+    if window.kind == W_RANGE:
+        return f" [RANGE {window.value!r} SECONDS]"
+    if window.kind == W_ROWS:
+        return f" [ROWS {int(window.value)}]"
+    return f" [SINCE {window.value!r}]"
+
+
+class ScanOp(PlanNode):
+    """Windowed table scan with an optional pushed-down predicate.
+
+    Output rows (before binding) are published to the tick's
+    :class:`ShareCache` so sibling subscriptions watching the same
+    table/window/predicate reuse them.
+    """
+
+    kind = "scan"
+
+    def __init__(
+        self,
+        ref: TableRef,
+        predicate: Optional[Expr],
+        predicate_key: Optional[str],
+        needed: Tuple[str, ...],
+    ):
+        super().__init__()
+        self.ref = ref
+        self.predicate = predicate
+        self.predicate_key = predicate_key
+        self.needed = needed
+
+    def describe(self) -> str:
+        text = f"Scan {self.ref.table}{_window_text(self.ref.window)}"
+        if self.ref.alias != self.ref.table:
+            text += f" AS {self.ref.alias}"
+        if self.predicate is not None:
+            text += f" filter=({unparse_expr(self.predicate)})"
+        if self.needed:
+            text += f" columns=[{', '.join(self.needed)}]"
+        return text
+
+    def run(self, ctx: ExecContext) -> List[Binding]:
+        table = ctx.tables.get(self.ref.table)
+        if table is None:
+            raise QueryError(f"no such table {self.ref.table!r}")
+        key = None
+        if ctx.share is not None:
+            key = (
+                self.ref.table,
+                id(table),
+                self.ref.window.kind,
+                self.ref.window.value,
+                table.total_inserted,
+                self.predicate_key,
+            )
+            shared = ctx.share.get(key)
+            if shared is not None:
+                alias = self.ref.alias
+                return [Binding({alias: (table, row)}) for row in shared]
+        rows = apply_window(table, self.ref, ctx.now)
+        alias = self.ref.alias
+        bindings = [Binding({alias: (table, row)}) for row in rows]
+        if self.predicate is not None:
+            evaluator = ctx.evaluator
+            kept = [
+                (row, binding)
+                for row, binding in zip(rows, bindings)
+                if truthy(evaluator.scalar(self.predicate, binding))
+            ]
+            rows = [row for row, _ in kept]
+            bindings = [binding for _, binding in kept]
+        if key is not None:
+            ctx.share.put(key, rows)
+        return bindings
+
+
+class JoinOp(PlanNode):
+    """Cartesian product of the children, in source order — exactly the
+    join the legacy executor forms (its WHERE then filters; here the
+    single-source conjuncts already ran at the scans)."""
+
+    kind = "join"
+
+    def describe(self) -> str:
+        return f"Join sources={len(self.children)}"
+
+    def run(self, ctx: ExecContext) -> List[Binding]:
+        child_outputs = [child.execute(ctx) for child in self.children]
+        out = []
+        for combo in itertools.product(*child_outputs):
+            merged: Dict[str, tuple] = {}
+            for binding in combo:
+                merged.update(binding.sources)
+            out.append(Binding(merged))
+        return out
+
+
+class FilterOp(PlanNode):
+    """Residual WHERE conjuncts (multi-source or alias-free)."""
+
+    kind = "filter"
+
+    def __init__(self, child: PlanNode, predicate: Expr):
+        super().__init__((child,))
+        self.predicate = predicate
+
+    def describe(self) -> str:
+        return f"Filter ({unparse_expr(self.predicate)})"
+
+    def run(self, ctx: ExecContext) -> List[Binding]:
+        evaluator = ctx.evaluator
+        return [
+            binding
+            for binding in self.children[0].execute(ctx)
+            if truthy(evaluator.scalar(self.predicate, binding))
+        ]
+
+
+class AggregateOp(PlanNode):
+    """Group + HAVING + aggregate projection, via the executor's own
+    grouping and aggregate evaluation."""
+
+    kind = "aggregate"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_by: List[Expr],
+        projections: List[Projection],
+        having: Optional[Expr],
+    ):
+        super().__init__((child,))
+        self.group_by = group_by
+        self.projections = projections
+        self.having = having
+
+    def describe(self) -> str:
+        text = "Aggregate"
+        if self.group_by:
+            keys = ", ".join(unparse_expr(e) for e in self.group_by)
+            text += f" group_by=[{keys}]"
+        if self.having is not None:
+            text += f" having=({unparse_expr(self.having)})"
+        return text
+
+    def run(self, ctx: ExecContext) -> List[Tuple]:
+        evaluator = ctx.evaluator
+        bindings = self.children[0].execute(ctx)
+        out: List[Tuple] = []
+        for group in group_bindings(bindings, self.group_by, evaluator):
+            if self.having is not None and not truthy(
+                evaluator.aggregate(self.having, group)
+            ):
+                continue
+            out.append(
+                tuple(evaluator.aggregate(p.expr, group) for p in self.projections)
+            )
+        return out
+
+
+class ProjectOp(PlanNode):
+    """Row-wise projection for non-aggregated queries.  HAVING, if
+    present, is dropped at compile time — the legacy executor ignores it
+    on this branch and the plan must match."""
+
+    kind = "project"
+
+    def __init__(self, child: PlanNode, projections: List[Projection]):
+        super().__init__((child,))
+        self.projections = projections
+
+    def describe(self) -> str:
+        exprs = ", ".join(unparse_expr(p.expr) for p in self.projections)
+        return f"Project [{exprs}]"
+
+    def run(self, ctx: ExecContext) -> List[Tuple]:
+        evaluator = ctx.evaluator
+        return [
+            tuple(evaluator.scalar(p.expr, binding) for p in self.projections)
+            for binding in self.children[0].execute(ctx)
+        ]
+
+
+class DistinctOp(PlanNode):
+    kind = "distinct"
+
+    def __init__(self, child: PlanNode):
+        super().__init__((child,))
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def run(self, ctx: ExecContext) -> List[Tuple]:
+        seen = set()
+        unique: List[Tuple] = []
+        for row in self.children[0].execute(ctx):
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return unique
+
+
+class SortOp(PlanNode):
+    kind = "sort"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        order_by: List[OrderItem],
+        projections: List[Projection],
+        columns: List[str],
+    ):
+        super().__init__((child,))
+        self.order_by = order_by
+        self.projections = projections
+        self.columns = columns
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            unparse_expr(i.expr) + (" DESC" if i.descending else "")
+            for i in self.order_by
+        )
+        return f"Sort [{keys}]"
+
+    def run(self, ctx: ExecContext) -> List[Tuple]:
+        return order_rows(
+            self.children[0].execute(ctx),
+            self.order_by,
+            self.projections,
+            self.columns,
+            ctx.evaluator,
+        )
+
+
+class LimitOp(PlanNode):
+    kind = "limit"
+
+    def __init__(self, child: PlanNode, limit: int):
+        super().__init__((child,))
+        self.limit = limit
+
+    def describe(self) -> str:
+        return f"Limit {self.limit}"
+
+    def run(self, ctx: ExecContext) -> List[Tuple]:
+        return self.children[0].execute(ctx)[: self.limit]
+
+
+class Plan:
+    """A compiled SELECT: the operator tree plus everything EXPLAIN and
+    the engine need (effective projections, output columns, optimizer
+    notes, accumulated per-operator stats)."""
+
+    def __init__(
+        self,
+        select: Select,
+        root: PlanNode,
+        projections: List[Projection],
+        columns: List[str],
+        aggregated: bool,
+        notes: List[str],
+    ):
+        self.select = select
+        self.text = unparse(select)
+        self.root = root
+        self.projections = projections
+        self.columns = columns
+        self.aggregated = aggregated
+        self.notes = notes
+        self.stats = OperatorStats()
+        self.nodes: List[Tuple[int, PlanNode]] = []  # (depth, node) preorder
+        self._number(root, 0)
+
+    def _number(self, node: PlanNode, depth: int) -> None:
+        node.node_id = len(self.nodes)
+        self.nodes.append((depth, node))
+        for child in node.children:
+            self._number(child, depth + 1)
+
+    def execute(
+        self,
+        tables: Dict[str, StreamTable],
+        now: float,
+        share: Optional[ShareCache] = None,
+        timer: Optional[Callable[[], float]] = None,
+    ) -> ResultSet:
+        ctx = ExecContext(tables, now, self.stats, share=share, timer=timer)
+        rows = self.root.execute(ctx)
+        return ResultSet(self.columns, rows, executed_at=now)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+def make_resolver(
+    aliases: Dict[str, StreamTable],
+) -> Callable[[ColumnRef], Optional[str]]:
+    """Static version of ``Binding.resolve``: maps a reference to its
+    owning alias, or None wherever the runtime resolution would be
+    data-dependent (unknown or non-TS-ambiguous columns)."""
+
+    def resolve(ref: ColumnRef) -> Optional[str]:
+        if ref.table is not None:
+            table = aliases.get(ref.table)
+            if table is None:
+                return None
+            return ref.table if table.has_column(ref.name) else None
+        matches = [a for a, t in aliases.items() if t.has_column(ref.name)]
+        if not matches:
+            return None
+        if len(matches) > 1 and ref.name != TS_COLUMN:
+            return None
+        return matches[0]
+
+    return resolve
+
+
+def _check_expr(
+    expr: Expr,
+    resolve: Callable[[ColumnRef], Optional[str]],
+    allow_aggregate: bool,
+    inside_aggregate: bool = False,
+) -> None:
+    """Enforce resolvable_all: raise PlanNotSupported on anything whose
+    legacy evaluation could raise (or quirkily not raise)."""
+    if isinstance(expr, Literal):
+        return
+    if isinstance(expr, ColumnRef):
+        if resolve(expr) is None:
+            raise PlanNotSupported(
+                f"column {unparse_expr(expr)!r} does not resolve statically"
+            )
+        return
+    if isinstance(expr, Unary):
+        _check_expr(expr.operand, resolve, allow_aggregate, inside_aggregate)
+        return
+    if isinstance(expr, Binary):
+        _check_expr(expr.left, resolve, allow_aggregate, inside_aggregate)
+        _check_expr(expr.right, resolve, allow_aggregate, inside_aggregate)
+        return
+    if isinstance(expr, InList):
+        _check_expr(expr.needle, resolve, allow_aggregate, inside_aggregate)
+        for item in expr.haystack:
+            _check_expr(item, resolve, allow_aggregate, inside_aggregate)
+        return
+    if isinstance(expr, FunctionCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            if not allow_aggregate:
+                raise PlanNotSupported(f"aggregate {expr.name}() in row context")
+            if inside_aggregate:
+                raise PlanNotSupported(f"nested aggregate {expr.name}()")
+            if not expr.star and not expr.args:
+                raise PlanNotSupported(f"{expr.name}() without an argument")
+            for arg in expr.args:
+                _check_expr(arg, resolve, allow_aggregate, inside_aggregate=True)
+            return
+        if expr.name == "now" or expr.name in SCALAR_FUNCTIONS:
+            for arg in expr.args:
+                _check_expr(arg, resolve, allow_aggregate, inside_aggregate)
+            return
+        raise PlanNotSupported(f"unknown function {expr.name!r}")
+    raise PlanNotSupported(f"unsupported expression {expr!r}")
+
+
+def _check_order_by(order_by: List[OrderItem], columns: List[str]) -> None:
+    for item in order_by:
+        expr = item.expr
+        if (
+            isinstance(expr, ColumnRef)
+            and expr.table is None
+            and expr.name in columns
+        ):
+            continue
+        if (
+            isinstance(expr, Literal)
+            and isinstance(expr.value, int)
+            and not isinstance(expr.value, bool)
+            and 1 <= expr.value <= len(columns)
+        ):
+            continue
+        raise PlanNotSupported("ORDER BY term not statically resolvable")
+
+
+def compile_select(select: Select, tables: Dict[str, StreamTable]) -> Plan:
+    """Compile ``select`` against the current schema, or raise
+    :class:`PlanNotSupported` when the legacy executor must run it."""
+    aliases: Dict[str, StreamTable] = {}
+    for ref in select.sources:
+        table = tables.get(ref.table)
+        if table is None:
+            raise PlanNotSupported(f"unknown table {ref.table!r}")
+        if ref.alias in aliases:
+            raise PlanNotSupported(f"duplicate table alias {ref.alias!r}")
+        if ref.window.kind not in _WINDOW_KINDS:
+            raise PlanNotSupported(f"window kind {ref.window.kind!r}")
+        aliases[ref.alias] = table
+
+    if select.star:
+        projections = star_projections(
+            [(alias, table, None) for alias, table in aliases.items()],
+            len(aliases) > 1,
+        )
+    else:
+        projections = select.projections
+    aggregated = bool(select.group_by) or any(
+        has_aggregate(p.expr) for p in projections
+    )
+    columns = [projection_name(p, i) for i, p in enumerate(projections)]
+
+    resolve = make_resolver(aliases)
+    if select.where is not None:
+        _check_expr(select.where, resolve, allow_aggregate=False)
+    for expr in select.group_by:
+        _check_expr(expr, resolve, allow_aggregate=False)
+    for projection in projections:
+        _check_expr(projection.expr, resolve, allow_aggregate=aggregated)
+    if select.having is not None and aggregated:
+        _check_expr(select.having, resolve, allow_aggregate=True)
+    _check_order_by(select.order_by, columns)
+
+    rewrite = rewrite_where(select.where, select.sources, resolve)
+    pruning_exprs: List[Expr] = [p.expr for p in projections]
+    if select.where is not None:
+        pruning_exprs.append(select.where)
+    pruning_exprs.extend(select.group_by)
+    if select.having is not None and aggregated:
+        pruning_exprs.append(select.having)
+    needed = needed_columns(pruning_exprs, list(aliases), resolve)
+
+    scans: List[PlanNode] = []
+    for ref in select.sources:
+        predicate = and_chain(rewrite.scan_predicates.get(ref.alias, []))
+        scan_ref = TableRef(ref.table, rewrite.windows[ref.alias], ref.alias)
+        scans.append(
+            ScanOp(
+                scan_ref,
+                predicate,
+                alias_normalised_key(predicate, ref.alias),
+                needed.get(ref.alias, ()),
+            )
+        )
+    node: PlanNode = scans[0] if len(scans) == 1 else JoinOp(tuple(scans))
+    residual = and_chain(rewrite.residual)
+    if residual is not None:
+        node = FilterOp(node, residual)
+    if aggregated:
+        node = AggregateOp(node, select.group_by, projections, select.having)
+    else:
+        node = ProjectOp(node, projections)
+    if select.distinct:
+        node = DistinctOp(node)
+    if select.order_by:
+        node = SortOp(node, select.order_by, projections, columns)
+    if select.limit is not None:
+        node = LimitOp(node, select.limit)
+    return Plan(select, node, projections, columns, aggregated, rewrite.notes)

@@ -1,0 +1,48 @@
+"""Cross-subscription scan sharing.
+
+Many UI subscriptions watch the same table through the same window with
+the same pushed-down predicate (every per-device bandwidth view asks for
+``flows [RANGE w SECONDS]``).  When the engine re-evaluates them in the
+same tick, the windowed + filtered row list is identical, so scans
+publish their output here and later scans in the tick reuse it.
+
+Correctness hinges on the key: it pins the table *object* (``id``), the
+window, the pushed predicate (alias-normalised text), and the table's
+append sequence, and the engine clears the whole cache whenever the
+query clock moves — so a hit can only ever return exactly the rows the
+scan would have produced itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+ShareKey = Tuple[str, int, str, float, int, Optional[str]]
+
+
+class ShareCache:
+    """One tick's worth of shared scan outputs, keyed by :data:`ShareKey`."""
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: Dict[ShareKey, List] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: ShareKey) -> Optional[List]:
+        rows = self._entries.get(key)
+        if rows is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return rows
+
+    def put(self, key: ShareKey, rows: List) -> None:
+        self._entries[key] = rows
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

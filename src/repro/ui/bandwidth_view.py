@@ -57,7 +57,9 @@ class BandwidthView:
         self.devices: List[DeviceUsage] = []
         self.selected: Optional[str] = None  # MAC of the drilled-into device
         self.refreshes = 0
+        self.pushes = 0
         self._timer = None
+        self._subscription = None
 
     # ------------------------------------------------------------------
     # Data plane
@@ -79,6 +81,41 @@ class BandwidthView:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+
+    def attach_subscription(self, db, interval: Optional[float] = None):
+        """Drive the display from hwdb's active plane instead of a timer.
+
+        This is the paper's architecture verbatim: the handheld display
+        "subscribe[s] to query results" rather than polling.  A
+        continuous per-device aggregation over the flows ring pushes on
+        every interval (``deliver_empty=True`` so a quiet network still
+        repaints), and each push refreshes the screen.  Because the
+        query is a subscription, the query engine pins its compiled
+        plan and maintains the windowed sums incrementally between
+        pushes.  Returns the :class:`~repro.hwdb.database.Subscription`.
+        """
+        if self._subscription is not None:
+            raise RuntimeError("display is already subscribed")
+        query = (
+            f"SELECT src_mac, sum(bytes) AS bytes FROM flows "
+            f"[RANGE {self.window:g} SECONDS] GROUP BY src_mac"
+        )
+        self._subscription = db.subscribe(
+            query,
+            interval if interval is not None else self.refresh_interval,
+            self._on_push,
+            deliver_empty=True,
+        )
+        return self._subscription
+
+    def detach_subscription(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def _on_push(self, result) -> None:
+        self.pushes += 1
+        self.refresh()
 
     # ------------------------------------------------------------------
     # Interaction

@@ -101,14 +101,15 @@ class TestMetricNameRule:
 class TestLayeringRule:
     def test_layer_table_longest_prefix(self):
         assert layer_of("repro.core.clock") == 0
-        assert layer_of("repro.core.router") == 10
+        assert layer_of("repro.core.router") == 11
         assert layer_of("repro.net.udp") == 1
-        assert layer_of("repro.household") == 10
+        assert layer_of("repro.household") == 11
+        assert layer_of("repro.query.engine") == 4
 
     def test_upward_imports_flagged_type_checking_exempt(self):
         source = fixture("layering_low.py", "repro.net.fixture_low")
-        # Line 5: module-level import of nox (layer 4 > 1).
-        # Line 12: lazy import of sim (layer 9 > 1) — lazy still counts.
+        # Line 5: module-level import of nox (layer 5 > 1).
+        # Line 12: lazy import of sim (layer 10 > 1) — lazy still counts.
         # Line 8 (TYPE_CHECKING import of ui) is exempt.
         assert findings(source, {"layering", "layering-cycle"}) == [
             ("layering", 5),

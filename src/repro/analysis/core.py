@@ -256,16 +256,34 @@ def load_baseline(path: Path) -> Dict[str, int]:
     return {str(k): int(v) for k, v in counts.items()}
 
 
-def write_baseline(path: Path, violations: Iterable[Violation]) -> None:
+def write_baseline(
+    path: Path,
+    violations: Iterable[Violation],
+    ran_rule_ids: Optional[Iterable[str]] = None,
+) -> Dict[str, int]:
+    """Write the baseline; returns the counts written.
+
+    With ``ran_rule_ids``, entries for rules that did *not* run this
+    invocation are carried over from the existing file — a shallow-only
+    run must not clobber the deep rules' entries, and vice versa.
+    Without it, the file is replaced outright.
+    """
+    counts = violation_counts(violations)
+    if ran_rule_ids is not None:
+        ran = set(ran_rule_ids)
+        for key, allowed in load_baseline(path).items():
+            if key.rsplit("::", 1)[-1] not in ran:
+                counts.setdefault(key, allowed)
     payload = {
         "comment": (
             "repro-lint baseline: pre-existing violations tolerated by CI. "
             "Regenerate with `python -m repro lint --write-baseline`; "
             "burn it down, never grow it."
         ),
-        "counts": dict(sorted(violation_counts(violations).items())),
+        "counts": dict(sorted(counts.items())),
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return counts
 
 
 @dataclass

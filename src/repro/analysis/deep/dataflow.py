@@ -1,0 +1,266 @@
+"""Def-use taint dataflow over one function body.
+
+A deliberately small abstract interpreter: it tracks which local names
+(and ``self.<attr>`` slots) may carry a tainted value, propagating
+through assignments, containers, f-strings, arithmetic and calls.  Two
+passes over the statement list reach the loop-carried fixpoint (the
+lattice is two-point and transfer functions are monotone, so one
+re-pass suffices).
+
+Only *explicit* flows propagate: branch conditions never taint the
+values computed under them, and membership tests (``x in some_set``)
+are deterministic regardless of the container's iteration order, so
+``Compare`` results are always clean.  This keeps the engine
+under-approximating — everything it reports is a real data flow.
+
+The policy object supplies what varies per rule family: which calls
+introduce taint, which calls sanitize it, which callees are sinks, and
+what resolved project callees return (the interprocedural summaries
+computed by :mod:`repro.analysis.deep.taint`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph, FunctionInfo, dotted_parts
+
+
+def call_label(graph: CallGraph, fn: FunctionInfo, call: ast.Call) -> Optional[str]:
+    """Canonical name of a call target, falling back to its dotted text.
+
+    Unresolved bare names (``sorted``, ``id``, ``set``) come back as-is
+    so policies can still pattern-match builtins.
+    """
+    resolved = graph.resolve_call(fn, call)
+    if resolved is not None:
+        return resolved
+    parts = dotted_parts(call.func)
+    return ".".join(parts) if parts is not None else None
+
+
+class TaintPolicy:
+    """Hooks a rule family plugs into the dataflow engine."""
+
+    def is_source_call(self, label: Optional[str], call: ast.Call) -> bool:
+        raise NotImplementedError
+
+    def is_source_attr(self, dotted: Optional[str]) -> bool:
+        """Non-call taint (e.g. ``os.environ`` attribute reads)."""
+        raise NotImplementedError
+
+    def is_sanitizer(self, label: Optional[str], call: ast.Call) -> bool:
+        raise NotImplementedError
+
+    def is_sink_call(self, label: Optional[str]) -> bool:
+        return False
+
+    def callee_returns_taint(self, qualname: str) -> bool:
+        raise NotImplementedError
+
+    def attr_is_tainted(self, class_qualname: str, attr: str) -> bool:
+        """Cross-method taint: ``obj.attr`` poisoned elsewhere in the class."""
+        raise NotImplementedError
+
+
+class TaintHit:
+    """One tainted value arriving somewhere the caller cares about."""
+
+    __slots__ = ("line", "col", "kind", "detail")
+
+    def __init__(self, line: int, col: int, kind: str, detail: str) -> None:
+        self.line = line
+        self.col = col
+        self.kind = kind  # "return" | "hash-update" | "sink-arg"
+        self.detail = detail
+
+
+class FunctionTaint:
+    """Result of analysing one function: summary bits + hit list."""
+
+    __slots__ = ("returns_taint", "tainted_self_attrs", "hits")
+
+    def __init__(self) -> None:
+        self.returns_taint = False
+        self.tainted_self_attrs: Set[str] = set()
+        self.hits: List[TaintHit] = []
+
+
+#: Calls whose result must be treated as a fresh hash accumulator.
+HASH_FACTORIES = frozenset(
+    {
+        "hashlib.sha256",
+        "hashlib.sha1",
+        "hashlib.sha512",
+        "hashlib.md5",
+        "hashlib.blake2b",
+        "hashlib.blake2s",
+        "hashlib.new",
+    }
+)
+
+
+def analyse_function(
+    graph: CallGraph,
+    fn: FunctionInfo,
+    policy: TaintPolicy,
+) -> FunctionTaint:
+    """Run the two-pass taint interpretation of one function body."""
+    result = FunctionTaint()
+    env: Dict[str, bool] = {}
+    hash_vars: Set[str] = set()
+    reported: Set[Tuple[int, int, str]] = set()
+    type_env = graph.env_of(fn)
+
+    def taint_of(node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return env.get(node.id, False)
+        if isinstance(node, ast.Attribute):
+            parts = dotted_parts(node)
+            if parts is None:
+                return taint_of(node.value)
+            if env.get(".".join(parts), False):
+                return True
+            if len(parts) == 2:
+                klass = type_env.get(parts[0])
+                if klass is not None and policy.attr_is_tainted(klass, parts[1]):
+                    return True
+            resolved = graph.resolve_name(fn.module, parts)
+            return policy.is_source_attr(resolved if resolved else ".".join(parts))
+        if isinstance(node, ast.Call):
+            return call_taint(node)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True  # iteration order of a set is nondeterministic
+        if isinstance(node, ast.Compare):
+            return False  # membership/ordering tests are deterministic
+        if isinstance(node, ast.BoolOp):
+            return False  # branch logic, not data
+        if isinstance(node, ast.IfExp):
+            return taint_of(node.body) or taint_of(node.orelse)
+        if isinstance(node, ast.Lambda):
+            return False
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            if any(taint_of(g.iter) for g in node.generators):
+                return True
+            return taint_of(node.elt)
+        if isinstance(node, ast.DictComp):
+            if any(taint_of(g.iter) for g in node.generators):
+                return True
+            return taint_of(node.key) or taint_of(node.value)
+        return any(taint_of(child) for child in ast.iter_child_nodes(node))
+
+    def args_taint(call: ast.Call) -> bool:
+        return any(taint_of(a) for a in call.args) or any(
+            taint_of(k.value) for k in call.keywords
+        )
+
+    def call_taint(call: ast.Call) -> bool:
+        label = call_label(graph, fn, call)
+        if policy.is_sanitizer(label, call):
+            return False
+        if policy.is_source_call(label, call):
+            return True
+        if policy.is_sink_call(label) and args_taint(call):
+            record(call, "sink-arg", f"tainted argument passed to sink {label}")
+        if label is not None and label in graph.functions:
+            return policy.callee_returns_taint(label) or args_taint(call)
+        # Unknown callee: assume it forwards its arguments' taint, and a
+        # method call its receiver's (``str(time.time()).encode()``).
+        if isinstance(call.func, ast.Attribute) and taint_of(call.func.value):
+            return True
+        return args_taint(call)
+
+    def record(node: ast.AST, kind: str, detail: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        key = (line, col, kind)
+        if key in reported:
+            return
+        reported.add(key)
+        result.hits.append(TaintHit(line, col + 1, kind, detail))
+
+    def assign_target(target: ast.AST, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = tainted or env.get(target.id, False)
+        elif isinstance(target, ast.Attribute):
+            parts = dotted_parts(target)
+            if parts is not None:
+                key = ".".join(parts)
+                env[key] = tainted or env.get(key, False)
+                if parts[0] == "self" and len(parts) == 2 and tainted:
+                    result.tainted_self_attrs.add(parts[1])
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                assign_target(element, tainted)
+        elif isinstance(target, ast.Starred):
+            assign_target(target.value, tainted)
+        # Subscript stores taint the whole container conservatively.
+        elif isinstance(target, ast.Subscript):
+            assign_target(target.value, tainted)
+
+    def visit_stmt(stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            tainted = taint_of(stmt.value)
+            if isinstance(stmt.value, ast.Call):
+                label = call_label(graph, fn, stmt.value)
+                if label in HASH_FACTORIES:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            hash_vars.add(target.id)
+            for target in stmt.targets:
+                assign_target(target, tainted)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            assign_target(stmt.target, taint_of(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            assign_target(stmt.target, taint_of(stmt.value) or taint_of(stmt.target))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and taint_of(stmt.value):
+                result.returns_taint = True
+                record(stmt, "return", "nondeterministic value returned")
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "update"
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in hash_vars
+            ):
+                if args_taint(call):
+                    record(call, "hash-update", "nondeterministic bytes hashed")
+            else:
+                # Method calls may store taint into their receiver
+                # (``lines.append(tainted)``).
+                if isinstance(call.func, ast.Attribute) and args_taint(call):
+                    assign_target(call.func.value, True)
+                call_taint(call)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            assign_target(stmt.target, taint_of(stmt.iter))
+            for child in stmt.body + stmt.orelse:
+                visit_stmt(child)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            for child in stmt.body + stmt.orelse:
+                visit_stmt(child)
+        elif isinstance(stmt, ast.Try):
+            for child in stmt.body:
+                visit_stmt(child)
+            for handler in stmt.handlers:
+                for child in handler.body:
+                    visit_stmt(child)
+            for child in stmt.orelse + stmt.finalbody:
+                visit_stmt(child)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    assign_target(item.optional_vars, taint_of(item.context_expr))
+            for child in stmt.body:
+                visit_stmt(child)
+        # Nested defs/classes are separate scopes; skip them.
+
+    body: List[ast.stmt] = list(fn.node.body)  # type: ignore[attr-defined]
+    for _ in range(2):  # second pass settles loop-carried taint
+        for stmt in body:
+            visit_stmt(stmt)
+    return result

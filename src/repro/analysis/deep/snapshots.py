@@ -1,0 +1,267 @@
+"""D4 — snapshot parity: state that does not survive a round-trip.
+
+Two symmetric checks:
+
+* **Class round-trips** — for every class defining ``to_snapshot``,
+  each field assigned in ``__init__`` must be read somewhere in
+  ``to_snapshot`` (directly or via a self-method it calls).  Fields
+  that are pure collaborator wiring (``self.channel = channel``) are
+  exempt; derived caches that are legitimately rebuilt on restore carry
+  a ``# repro: ignore[deep-snapshot]`` pragma with a justification.
+  When the class also defines ``from_snapshot``, the payload keys the
+  two methods touch must agree.
+* **Module round-trips** — a module with ``snapshot_*`` / ``restore_*``
+  function pairs must read back every payload key it writes, and never
+  read a key no snapshot function writes.  Keys are matched by string
+  literal (dict displays, subscript stores, ``.get`` reads), which is
+  exactly how the hwdb snapshot format is written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core import Rule, SourceFile, Violation
+from .callgraph import CallGraph, ClassInfo, FunctionInfo, iter_calls
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import DeepContext
+
+#: (module, line, col, message) -> records one finding.
+_Emitter = Callable[[str, int, int, str], None]
+
+
+def _written_keys(node: ast.AST) -> Dict[str, int]:
+    """String keys this function writes into dict payloads -> first line."""
+    keys: Dict[str, int] = {}
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            for key in child.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.setdefault(key.value, key.lineno)
+        elif isinstance(child, (ast.Assign, ast.AugAssign)):
+            targets = child.targets if isinstance(child, ast.Assign) else [child.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.setdefault(target.slice.value, target.lineno)
+    return keys
+
+
+def _read_keys(node: ast.AST) -> Dict[str, int]:
+    """String keys this function reads from dict payloads -> first line."""
+    keys: Dict[str, int] = {}
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Subscript)
+            and isinstance(child.ctx, ast.Load)
+            and isinstance(child.slice, ast.Constant)
+            and isinstance(child.slice.value, str)
+        ):
+            keys.setdefault(child.slice.value, child.lineno)
+        elif (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in ("get", "pop")
+            and child.args
+            and isinstance(child.args[0], ast.Constant)
+            and isinstance(child.args[0].value, str)
+        ):
+            keys.setdefault(child.args[0].value, child.lineno)
+    return keys
+
+
+def _self_reads(node: ast.AST) -> Set[str]:
+    """Attribute names read (or touched at all) as ``self.<attr>``."""
+    reads: Set[str] = set()
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == "self"
+        ):
+            reads.add(child.attr)
+    return reads
+
+
+def _self_calls(node: ast.AST) -> Set[str]:
+    """Names of methods invoked as ``self.<method>(...)``."""
+    called: Set[str] = set()
+    for call in iter_calls(node):
+        if (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        ):
+            called.add(call.func.attr)
+    return called
+
+
+class SnapshotParityRule(Rule):
+    name = "deep-snapshot"
+    ids = ("deep-snapshot",)
+    description = "every __init__ field and payload key survives the round-trip"
+
+    def __init__(self, context: Optional["DeepContext"] = None) -> None:
+        from . import DeepContext
+
+        self.context = context if context is not None else DeepContext()
+
+    # -- class round-trips ---------------------------------------------
+
+    def _init_fields(self, init: FunctionInfo) -> Dict[str, Tuple[int, int]]:
+        """Non-wiring fields assigned in __init__ -> (line, col)."""
+        params = set(init.params)
+        fields: Dict[str, Tuple[int, int]] = {}
+        for child in ast.walk(init.node):
+            if isinstance(child, ast.Assign):
+                targets = child.targets
+                value: Optional[ast.expr] = child.value
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                targets = [child.target]
+                value = child.value
+            else:
+                continue
+            if isinstance(value, ast.Name) and value.id in params:
+                continue  # collaborator/config wiring, not state
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    fields.setdefault(
+                        target.attr, (target.lineno, target.col_offset + 1)
+                    )
+        return fields
+
+    def _snapshot_reads(self, graph: CallGraph, info: ClassInfo) -> Set[str]:
+        """self-attrs read by to_snapshot or same-class methods it calls."""
+        reads: Set[str] = set()
+        seen: Set[str] = set()
+        stack = ["to_snapshot"]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            method = graph.find_method(info.qualname, name)
+            if method is None:
+                continue
+            reads |= _self_reads(method.node)
+            stack.extend(_self_calls(method.node))
+        return reads
+
+    def _check_class(
+        self, graph: CallGraph, info: ClassInfo, emit: "_Emitter"
+    ) -> None:
+        to_snapshot = info.methods.get("to_snapshot")
+        if to_snapshot is None:
+            return
+        init = info.methods.get("__init__")
+        if init is not None:
+            reads = self._snapshot_reads(graph, info)
+            for field, (line, col) in sorted(self._init_fields(init).items()):
+                if field in reads:
+                    continue
+                emit(
+                    info.module,
+                    line,
+                    col,
+                    f"{info.qualname}.__init__ sets self.{field} but "
+                    f"to_snapshot never reads it",
+                )
+        from_snapshot = info.methods.get("from_snapshot")
+        if from_snapshot is not None:
+            written = _written_keys(to_snapshot.node)
+            read = _read_keys(from_snapshot.node)
+            for key, line in sorted(written.items()):
+                if key not in read:
+                    emit(
+                        info.module,
+                        line,
+                        1,
+                        f"{info.qualname}.to_snapshot writes key {key!r} but "
+                        f"from_snapshot never reads it",
+                    )
+            for key, line in sorted(read.items()):
+                if key not in written:
+                    emit(
+                        info.module,
+                        line,
+                        1,
+                        f"{info.qualname}.from_snapshot reads key {key!r} but "
+                        f"to_snapshot never writes it",
+                    )
+
+    # -- module round-trips --------------------------------------------
+
+    def _check_module(
+        self, graph: CallGraph, module: str, emit: "_Emitter"
+    ) -> None:
+        snapshot_fns = [
+            fn
+            for q, fn in graph.functions.items()
+            if fn.module == module and fn.cls is None and fn.name.startswith("snapshot_")
+        ]
+        restore_fns = [
+            fn
+            for q, fn in graph.functions.items()
+            if fn.module == module and fn.cls is None and fn.name.startswith("restore_")
+        ]
+        if not snapshot_fns or not restore_fns:
+            return
+        written: Dict[str, Tuple[str, int]] = {}
+        for fn in snapshot_fns:
+            for key, line in _written_keys(fn.node).items():
+                written.setdefault(key, (fn.qualname, line))
+        read: Dict[str, Tuple[str, int]] = {}
+        for fn in restore_fns:
+            for key, line in _read_keys(fn.node).items():
+                read.setdefault(key, (fn.qualname, line))
+        for key, (writer, line) in sorted(written.items()):
+            if key not in read:
+                emit(
+                    module,
+                    line,
+                    1,
+                    f"{writer} writes snapshot key {key!r} but no restore_* "
+                    f"function in {module} reads it",
+                )
+        for key, (reader, line) in sorted(read.items()):
+            if key not in written:
+                emit(
+                    module,
+                    line,
+                    1,
+                    f"{reader} reads snapshot key {key!r} but no snapshot_* "
+                    f"function in {module} writes it",
+                )
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterable[Violation]:
+        graph = self.context.graph(files)
+        by_module = {f.module: f for f in files}
+        violations: List[Violation] = []
+
+        def emit(module: str, line: int, col: int, message: str) -> None:
+            source = by_module.get(module)
+            if source is not None:
+                violations.append(
+                    Violation(
+                        path=source.path,
+                        line=line,
+                        col=col,
+                        rule="deep-snapshot",
+                        message=message,
+                    )
+                )
+
+        for info in sorted(graph.classes.values(), key=lambda c: c.qualname):
+            self._check_class(graph, info, emit)
+        for module in sorted(graph.modules):
+            self._check_module(graph, module, emit)
+        return violations

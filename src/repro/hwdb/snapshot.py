@@ -108,7 +108,10 @@ def snapshot_database(
     }
 
 
-def restore_database(
+# SimulationError from re-arming subscription timers is unreachable:
+# subscribe() rejects non-positive intervals with HwdbError before the
+# scheduler (which raises it for the same condition) is ever called.
+def restore_database(  # repro: ignore[deep-except-escape]
     db: HomeworkDatabase,
     snap: Dict[str, Any],
     callback_factory: Optional[SubscriptionCallbackFactory] = None,
@@ -126,6 +129,7 @@ def restore_database(
             f"unsupported hwdb snapshot format {snap.get('format')!r} "
             f"(expected {FORMAT!r})"
         )
+    db.default_capacity = int(snap.get("default_capacity", db.default_capacity))
     for table_snap in snap["tables"]:
         restore_table(db, table_snap)
     db.queries_executed = int(snap.get("queries_executed", 0))
@@ -144,6 +148,13 @@ def restore_database(
         )
         subscription.executions = int(sub_snap.get("executions", 0))
         subscription.deliveries = int(sub_snap.get("deliveries", 0))
+        if not bool(sub_snap.get("active", True)):
+            # Standalone subscription snapshots can carry inactive subs;
+            # restore them registered but quiescent.
+            subscription.active = False
+            if subscription._timer is not None:
+                subscription._timer.cancel()
+                subscription._timer = None
         restored.append(subscription)
     return restored
 

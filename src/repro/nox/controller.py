@@ -18,6 +18,7 @@ from ..openflow.channel import SecureChannel
 from ..openflow.flow_table import DEFAULT_PRIORITY
 from ..openflow.match import Match
 from ..openflow.messages import (
+    BarrierReply,
     BarrierRequest,
     EchoReply,
     EchoRequest,
@@ -85,6 +86,8 @@ class Controller:
         self._components: Dict[str, Component] = {}
         self._seq = 0
         self._pending_stats: Dict[int, Callable[[StatsReply], None]] = {}
+        self._pending_echoes: Dict[int, bytes] = {}
+        self._pending_barriers: Dict[int, Callable[[], None]] = {}
 
         self.packet_ins_handled = 0
         self.flow_mods_sent = 0
@@ -172,12 +175,20 @@ class Controller:
         self.channel = channel
         self.send(FeaturesRequest())
 
-    def receive(self, msg: OpenFlowMessage) -> None:
+    # SimulationError out of the reply sends is unreachable: the channel
+    # latency it would come from is validated in SecureChannel.__init__.
+    def receive(self, msg: OpenFlowMessage) -> None:  # repro: ignore[deep-except-escape]
         """Entry point for switch→controller messages."""
         if isinstance(msg, Hello):
             return
         if isinstance(msg, EchoRequest):
             self.send(EchoReply(msg.data, xid=msg.xid))
+        elif isinstance(msg, EchoReply):
+            self._pending_echoes.pop(msg.xid, None)
+        elif isinstance(msg, BarrierReply):
+            callback = self._pending_barriers.pop(msg.xid, None)
+            if callback is not None:
+                callback()
         elif isinstance(msg, FeaturesReply):
             self.datapath_id = msg.datapath_id
             self.ports = {p.number: p.name for p in msg.ports}
@@ -272,8 +283,26 @@ class Controller:
         self._pending_stats[request.xid] = callback
         self.send(request)
 
-    def barrier(self) -> None:
-        self.send(BarrierRequest())
+    def barrier(self, callback: Optional[Callable[[], None]] = None) -> int:
+        """Fence: ``callback`` fires once the switch has processed every
+        message sent before the barrier.  Returns the request xid."""
+        request = BarrierRequest()
+        if callback is not None:
+            self._pending_barriers[request.xid] = callback
+        self.send(request)
+        return request.xid
+
+    def echo(self, data: bytes = b"") -> int:
+        """Send a liveness probe; the matching reply clears it from the
+        pending set, so a stuck channel leaves the xid behind."""
+        request = EchoRequest(data)
+        self._pending_echoes[request.xid] = data
+        self.send(request)
+        return request.xid
+
+    def pending_echoes(self) -> List[int]:
+        """Probe xids still awaiting a reply (unanswered = channel stuck)."""
+        return sorted(self._pending_echoes)
 
     def __repr__(self) -> str:
         return (

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..core.errors import SimulationError
 from .messages import Hello, OpenFlowMessage
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -23,6 +24,8 @@ class SecureChannel:
     """Ordered, bidirectional OpenFlow message pipe with latency."""
 
     def __init__(self, sim: "Simulator", latency: float = 0.0005):
+        if latency < 0:
+            raise SimulationError(f"channel latency must be >= 0: {latency}")
         self.sim = sim
         self.latency = latency
         self.datapath: Optional["Datapath"] = None

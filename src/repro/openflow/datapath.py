@@ -59,6 +59,8 @@ from .messages import (
     PacketOut,
     PortDescription,
     PortStats,
+    PortStatus,
+    PS_MODIFY,
     REASON_ACTION,
     REASON_NO_MATCH,
     RR_DELETE,
@@ -137,6 +139,7 @@ class Datapath:
         # that answers it yields the packet_in→flow_mod round trip in
         # simulated seconds (secure-channel latency both ways + NOX).
         self._punt_times: Dict[int, float] = {}
+        self._pending_echoes: Dict[int, bytes] = {}
         if registry is None:
             self._m_flow_setup = None
         else:
@@ -182,6 +185,39 @@ class Datapath:
     def attach_channel(self, channel: "SecureChannel") -> None:
         self.channel = channel
 
+    def probe_controller(self, data: bytes = b"") -> Optional[int]:
+        """Send a liveness echo to the controller; the matching reply
+        clears it, so a lingering xid means the control path is stuck."""
+        if self.channel is None:
+            return None
+        request = EchoRequest(data)
+        self._pending_echoes[request.xid] = data
+        self.channel.to_controller(request)
+        return request.xid
+
+    def pending_echoes(self) -> List[int]:
+        """Probe xids still awaiting a controller reply."""
+        return sorted(self._pending_echoes)
+
+    def set_port_state(self, number: int, up: bool) -> None:
+        """Administratively flip a port and notify the controller.
+
+        Models ``ifconfig ethX up/down`` on the router: the datapath
+        keeps forwarding on its other ports and NOX learns about the
+        change through a PORT_STATUS message.
+        """
+        try:
+            port = self._ports[number]
+        except KeyError:
+            raise DatapathError(f"no port {number} on {self.name}") from None
+        if port.up == up:
+            return
+        port.up = up
+        if self.channel is not None:
+            self.channel.to_controller(
+                PortStatus(PS_MODIFY, PortDescription(number, port.name, up=up))
+            )
+
     def start_expiry(self, interval: float = 1.0) -> None:
         """Begin periodic idle/hard timeout sweeps."""
         if self._expiry_timer is not None:
@@ -198,12 +234,16 @@ class Datapath:
                 self.channel.to_controller(FlowRemoved.from_entry(entry, code))
         return len(expired)
 
-    def handle_message(self, msg: OpenFlowMessage) -> None:
+    # SimulationError out of the reply sends is unreachable: the channel
+    # latency it would come from is validated in SecureChannel.__init__.
+    def handle_message(self, msg: OpenFlowMessage) -> None:  # repro: ignore[deep-except-escape]
         """Process one controller→switch protocol message."""
         if isinstance(msg, Hello):
             return
         if isinstance(msg, EchoRequest):
             self._reply(EchoReply(msg.data, xid=msg.xid))
+        elif isinstance(msg, EchoReply):
+            self._pending_echoes.pop(msg.xid, None)
         elif isinstance(msg, FeaturesRequest):
             self._reply(
                 FeaturesReply(

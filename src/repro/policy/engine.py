@@ -51,7 +51,8 @@ class PolicyEngine:
         # after a policy is removed so their restrictions get cleared.
         self._managed: Set[MACAddress] = set()
         self.enforcements = 0
-        self._timer = None
+        # Live scheduler handle; re-armed via start(), never serialized.
+        self._timer = None  # repro: ignore[deep-snapshot]
 
     # ------------------------------------------------------------------
     # Periodic re-enforcement

@@ -327,6 +327,8 @@ def alias_normalised_key(expr: Optional[Expr], alias: str) -> Optional[str]:
 
 
 def _strip_alias(expr: Expr, alias: str) -> Expr:
+    if isinstance(expr, Literal):
+        return expr
     if isinstance(expr, ColumnRef):
         if expr.table == alias:
             return ColumnRef(expr.name, "$")

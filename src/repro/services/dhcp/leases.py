@@ -70,7 +70,8 @@ class LeaseDatabase:
 
     def __init__(self) -> None:
         self._by_mac: Dict[MACAddress, Lease] = {}
-        self._by_ip: Dict[IPv4Address, Lease] = {}
+        # Reverse index derived from _by_mac; restore rebuilds it.
+        self._by_ip: Dict[IPv4Address, Lease] = {}  # repro: ignore[deep-snapshot]
 
     def offer(
         self,

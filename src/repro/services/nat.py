@@ -89,7 +89,8 @@ class NatTable:
             raise ServiceError(f"NAT idle_timeout must be positive: {idle_timeout}")
         self.idle_timeout = float(idle_timeout)
         self._by_private: Dict[PrivateKey, NatBinding] = {}
-        self._by_external: Dict[Tuple[int, int], NatBinding] = {}
+        # Reverse index derived from _by_private; restore rebuilds it.
+        self._by_external: Dict[Tuple[int, int], NatBinding] = {}  # repro: ignore[deep-snapshot]
         self._next_port: Dict[int, int] = {}
         self.allocations = 0
         self.expirations = 0

@@ -1,0 +1,74 @@
+"""D3 positive: an unhandled member, an unproduced member, a dead arm."""
+
+
+class Node:
+    pass
+
+
+class Num(Node):
+    pass
+
+
+class Name(Node):
+    pass
+
+
+class Pair(Node):
+    pass
+
+
+class Extra(Node):  # line 20: no producer ever constructs this
+    pass
+
+
+def parse(kind):
+    if kind == "num":
+        return Num()
+    if kind == "name":
+        return Name()
+    return Pair()
+
+
+def render(node):  # line 32: Pair and Extra never reach an arm
+    if isinstance(node, Num):
+        return "num"
+    if isinstance(node, Name):
+        return "name"
+    raise ValueError(node)
+
+
+class Message:
+    pass
+
+
+class Ping(Message):
+    pass
+
+
+class Pong(Message):
+    pass
+
+
+class Probe(Message):
+    pass
+
+
+class Bus:
+    def __init__(self):
+        self.last = None
+
+    def send(self, msg):
+        self.last = msg
+
+
+def client(bus: Bus):
+    bus.send(Ping())
+    bus.send(Probe())
+
+
+def server(msg):  # line 69: Probe is sent but has no arm
+    if isinstance(msg, Ping):
+        return "ping"
+    if isinstance(msg, Pong):  # line 72: orphan — nobody sends Pong
+        return "pong"
+    return None

@@ -1,0 +1,68 @@
+"""D3 negative: every member produced, dispatched, and sent."""
+
+
+class Node:
+    pass
+
+
+class Num(Node):
+    pass
+
+
+class Name(Node):
+    pass
+
+
+class Pair(Node):
+    pass
+
+
+def parse(kind):
+    if kind == "num":
+        return Num()
+    if kind == "name":
+        return Name()
+    return Pair()
+
+
+def render(node):
+    if isinstance(node, Num):
+        return "num"
+    if isinstance(node, Name):
+        return "name"
+    if isinstance(node, Pair):
+        return "pair"
+    raise ValueError(node)
+
+
+class Message:
+    pass
+
+
+class Ping(Message):
+    pass
+
+
+class Pong(Message):
+    pass
+
+
+class Bus:
+    def __init__(self):
+        self.last = None
+
+    def send(self, msg):
+        self.last = msg
+
+
+def client(bus: Bus):
+    bus.send(Ping())
+    bus.send(Pong())
+
+
+def server(msg):
+    if isinstance(msg, Ping):
+        return "ping"
+    if isinstance(msg, Pong):
+        return "pong"
+    return None

@@ -1,0 +1,14 @@
+"""Call-graph fixture: the lower layer, engine attached duck-typed."""
+
+
+class Database:
+    def __init__(self):
+        self._engine = None
+
+    def set_query_engine(self, engine):
+        self._engine = engine
+
+    def query(self, text):
+        if self._engine is not None:
+            return self._engine.execute(text)
+        return None

@@ -1,0 +1,14 @@
+"""Call-graph fixture: the upper layer attaching itself to Database."""
+
+from .duck_db import Database
+
+
+class Engine:
+    def execute(self, text):
+        return text.upper()
+
+
+def wire(db: Database) -> Engine:
+    engine = Engine()
+    db.set_query_engine(engine)
+    return engine

@@ -1,0 +1,30 @@
+"""D2 positive: an undeclared escape and a provably-dead except arm."""
+
+
+class BoundaryError(Exception):
+    pass
+
+
+class WireError(Exception):
+    pass
+
+
+def _decode(payload):
+    if not payload:
+        raise WireError("empty payload")
+    return payload
+
+
+def handle(payload):  # line 18: WireError escapes the BoundaryError contract
+    data = _decode(payload)
+    if data == "bad":
+        raise BoundaryError("bad payload")
+    return data
+
+
+def guarded(payload):
+    try:
+        value = _decode(payload)
+    except BoundaryError:  # line 28: dead — _decode only raises WireError
+        return None
+    return value

@@ -1,0 +1,33 @@
+"""D2 negative: the boundary wraps, every except arm can fire."""
+
+
+class BoundaryError(Exception):
+    pass
+
+
+class WireError(Exception):
+    pass
+
+
+def _decode(payload):
+    if not payload:
+        raise WireError("empty payload")
+    return payload
+
+
+def handle(payload):
+    try:
+        data = _decode(payload)
+    except WireError as exc:
+        raise BoundaryError(str(exc)) from exc
+    if data == "bad":
+        raise BoundaryError("bad payload")
+    return data
+
+
+def guarded(payload):
+    try:
+        value = _decode(payload)
+    except WireError:  # live: _decode raises it on empty payloads
+        return None
+    return value

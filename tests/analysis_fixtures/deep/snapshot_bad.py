@@ -1,0 +1,25 @@
+"""D4 positive: fields and payload keys that do not round-trip."""
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+        self.errors = 0  # line 7: never serialized by to_snapshot
+
+    def to_snapshot(self):
+        return {"total": self.total, "spare": 1}  # 'spare' never restored
+
+    @classmethod
+    def from_snapshot(cls, snap):
+        counter = cls()
+        counter.total = int(snap["total"])
+        counter.errors = int(snap["missing"])  # 'missing' never written
+        return counter
+
+
+def snapshot_state(state):
+    return {"rows": list(state), "stamp": 7}  # 'stamp' never restored
+
+
+def restore_state(snap):
+    return list(snap["rows"])

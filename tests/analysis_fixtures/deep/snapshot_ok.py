@@ -1,0 +1,26 @@
+"""D4 negative: symmetric round-trips, wiring assignments exempt."""
+
+
+class Counter:
+    def __init__(self, bus):
+        self.bus = bus  # collaborator wiring: exempt from parity
+        self.total = 0
+        self.errors = 0
+
+    def to_snapshot(self):
+        return {"total": self.total, "errors": self.errors}
+
+    @classmethod
+    def from_snapshot(cls, bus, snap):
+        counter = cls(bus)
+        counter.total = int(snap["total"])
+        counter.errors = int(snap.get("errors", 0))
+        return counter
+
+
+def snapshot_state(state):
+    return {"rows": list(state)}
+
+
+def restore_state(snap):
+    return list(snap["rows"])

@@ -1,0 +1,21 @@
+"""D1 positive: nondeterminism reaching reproducibility sinks."""
+
+import hashlib
+import time
+
+
+class Tracker:
+    def __init__(self):
+        self.items = []
+        self.started = time.time()  # line 10: taints self.started
+
+    def to_snapshot(self):
+        return {"started": self.started}  # line 13: tainted return from a sink
+
+
+def trace_digest(rows):
+    hasher = hashlib.sha256()
+    hasher.update(str(time.time()).encode())  # line 18: clock into the hash
+    for row in rows:
+        hasher.update(repr(row).encode())
+    return hasher.hexdigest()

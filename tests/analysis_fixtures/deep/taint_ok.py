@@ -1,0 +1,18 @@
+"""D1 negative: sinks fed only deterministic or sanitized values."""
+
+import hashlib
+
+
+class Registry:
+    def __init__(self):
+        self.entries = {}
+
+    def to_snapshot(self):
+        return {"entries": sorted(self.entries.items())}
+
+
+def trace_digest(names):
+    hasher = hashlib.sha256()
+    for name in sorted(set(names)):  # set order sanitized by sorted()
+        hasher.update(name.encode())
+    return hasher.hexdigest()

@@ -98,16 +98,31 @@ def test_t2_controller_miss(benchmark):
     assert dp.packet_ins_sent > 0
 
 
-@pytest.mark.parametrize("rules", [10, 100, 1000])
+@pytest.mark.parametrize("rules", [10, 100, 512, 1000])
 def test_t2_wildcard_scan_scales_with_rules(benchmark, rules):
-    """Ablation: single-table lookup degrades linearly with rule count;
-    the exact-match tier (previous bench) is immune."""
+    """Ablation: the reference linear scan degrades with rule count; the
+    indexed table (the default since DESIGN.md §14) stays near-flat, and
+    the exact-match tier (previous bench) is immune either way."""
     sim, dp = make_datapath(enable_cache=False, wildcard_rules=rules)
     # The matching rule sits at the lowest priority: worst-case scan.
     dp.table.add(FlowEntry(Match(tp_dst=443), output(2), priority=1))
     raw = frame_bytes()
     benchmark(dp.process_frame, raw, 1)
     benchmark.extra_info["rules"] = rules
+
+
+def test_t2_indexed_vs_linear_512(benchmark):
+    """Acceptance kernel: indexed lookup ≥ 5x the linear reference at
+    512 installed entries (the gate's flow_lookup_speedup_512 floor)."""
+    from repro.bench.hotpath import _build_flow_tables
+
+    indexed, linear, keys = _build_flow_tables()
+    key = keys[137]
+    winner, reference = indexed.lookup(key), linear.lookup(key)
+    assert winner is not None and winner.match.same_pattern(reference.match)
+    benchmark(indexed.lookup, key)
+    benchmark.extra_info["entries"] = 512
+    benchmark.extra_info["path"] = "indexed wildcard+exact table"
 
 
 def test_t2_cache_ablation_throughput(benchmark):
@@ -202,6 +217,18 @@ def main(out_path="BENCH_T2.json", packets=5000, misses=300) -> dict:
     setup_hist = registry.get("openflow.flow_setup_sim_seconds")
     if setup_hist is not None:
         report["flow_setup_sim_seconds"] = dict(setup_hist.fields())
+
+    # Acceptance kernel: indexed vs reference-linear lookup at 512
+    # installed entries (same numbers python -m repro bench gates on).
+    from repro.bench.hotpath import bench_flow_lookup
+    from repro.core.clock import WallClock
+
+    flow = bench_flow_lookup(min(packets * 10, 50_000), WallClock())
+    report["indexed_lookup_512"] = {
+        "indexed_ops_per_sec": flow["indexed"]["ops_per_sec"],
+        "linear_ops_per_sec": flow["linear"]["ops_per_sec"],
+        "speedup": round(flow["speedup"], 1),
+    }
 
     # Ratio from means: percentiles are quantised to bucket bounds, so a
     # p50/p50 ratio between adjacent buckets would be misleading.

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro lint        # repro-lint: repo-specific static analysis
     python -m repro fuzz        # deterministic scenario fuzzing (repro.check)
     python -m repro fleet       # sharded multi-household runs (repro.fleet)
+    python -m repro bench       # perf harness + regression gate (repro.bench)
     python -m repro explain     # show the query engine's plan for a CQL query
 
 Each demo runs entirely in simulated time and shows what the paper's
@@ -225,6 +226,11 @@ def main(argv=None) -> int:
         from .fleet.cli import main as fleet_main
 
         return fleet_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # And the perf harness / regression gate.
+        from .bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -242,6 +248,7 @@ def main(argv=None) -> int:
             "lint",
             "fuzz",
             "fleet",
+            "bench",
             "explain",
         ],
         help="which walk-through to run (default: demo)",

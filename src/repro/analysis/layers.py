@@ -18,9 +18,10 @@ never above):
  10     ``sim``
  11     app — ``ui``, ``core.router``, the package roots, ``analysis``,
         ``check`` (the fuzzer drives the whole stack)
- 12     ``fleet`` + ``__main__`` — multi-household orchestration over
-        whole routers; the CLI dispatcher sits here because it (lazily)
-        imports every subcommand, fleet included
+ 12     ``fleet`` + ``bench`` + ``__main__`` — multi-household
+        orchestration and the perf harness drive whole routers; the CLI
+        dispatcher sits here because it (lazily) imports every
+        subcommand, fleet and bench included
 ====== =====================================================
 
 Imports guarded by ``if TYPE_CHECKING:`` are exempt (they never execute).
@@ -61,6 +62,7 @@ LAYER_PREFIXES: Tuple[Tuple[int, str], ...] = (
     (11, "repro.analysis"),
     (11, "repro.check"),
     (12, "repro.fleet"),
+    (12, "repro.bench"),
     (12, "repro.__main__"),
     (11, "repro"),
 )

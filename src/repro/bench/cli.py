@@ -1,0 +1,137 @@
+"""``python -m repro bench`` — run the perf harness and gate on baseline.
+
+Typical uses::
+
+    python -m repro bench                       # full run, gate vs BENCH_HOTPATH.json
+    python -m repro bench --quick --out /tmp/b.json   # CI smoke
+    python -m repro bench --write-baseline      # refresh the committed baseline
+    python -m repro bench --suites t2_flow_setup --suites-out bench-out
+
+Exit status is nonzero when the regression gate fails (a ratio floor is
+violated or throughput falls outside the tolerance band) — that is the
+CI contract for the ``bench-gate`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+from pathlib import Path
+from typing import List, Optional
+
+from ..core.logging_setup import configure_logging
+from .gate import DEFAULT_TOLERANCE, check_gate, load_baseline, make_report
+from .hotpath import run_hotpath
+from .suites import SUITES, run_suites
+
+logger = logging.getLogger("repro.bench")
+
+#: The committed baseline lives at the repo root, next to pyproject.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "BENCH_HOTPATH.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="hot-path perf harness with a baseline regression gate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced iteration counts (CI smoke; not for baselines)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline report to gate against (default: committed BENCH_HOTPATH.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write this run's report to the baseline path instead of gating",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="minimum fraction of baseline throughput that still passes "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report only; skip floors and baseline comparison",
+    )
+    parser.add_argument(
+        "--suites",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="also run a standalone benchmarks/ suite "
+        f"({', '.join(sorted(SUITES))} or 'all'); repeatable",
+    )
+    parser.add_argument(
+        "--suites-out",
+        type=Path,
+        default=Path("bench-out"),
+        help="directory the suite BENCH_*.json reports are written to",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose)
+
+    logger.info("running hot-path microbenches (%s)", "quick" if args.quick else "full")
+    results = run_hotpath(quick=args.quick)
+    report = make_report(results, quick=args.quick)
+    logger.info(
+        "flow lookup: indexed %.0f ops/s, linear %.0f ops/s, speedup %.1fx",
+        results["flow_lookup_indexed_512"],
+        results["flow_lookup_linear_512"],
+        results["flow_lookup_speedup_512"],
+    )
+    logger.info("sim dispatch: %.0f events/s", results["sim_dispatch_events"])
+    logger.info("classification: %.0f ops/s", results["classify_memoized"])
+
+    if args.suites:
+        names = sorted(SUITES) if "all" in args.suites else args.suites
+        run_suites(names, args.suites_out, quick=args.quick)
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        logger.info("report written to %s", args.out)
+
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        logger.info("baseline written to %s", args.baseline)
+        return 0
+
+    if args.no_gate:
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        logger.warning(
+            "no usable baseline at %s; gating on ratio floors only", args.baseline
+        )
+    gate = check_gate(results, baseline, tolerance=args.tolerance)
+    if gate.passed:
+        logger.info("bench gate PASSED (%d checks)", gate.checked)
+        return 0
+    for failure in gate.failures:
+        logger.error("bench gate: %s", failure)
+    logger.error(
+        "bench gate FAILED (%d of %d checks)", len(gate.failures), gate.checked
+    )
+    return 1

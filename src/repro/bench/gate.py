@@ -1,0 +1,113 @@
+"""The bench regression gate: floors and tolerance against a baseline.
+
+Two kinds of check, chosen for CI robustness (DESIGN.md §14):
+
+* **Ratio floors** — machine-independent structural ratios (e.g. the
+  indexed flow lookup must stay ≥ 5x the linear reference).  These are
+  sharp: a violated floor means the optimisation itself regressed, not
+  the CI machine.
+* **Throughput tolerance** — absolute ops/sec compared against the
+  committed baseline with a generous band (default: fail only below
+  20% of baseline), absorbing machine-speed variance while still
+  catching order-of-magnitude regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+SCHEMA = "repro.bench/1"
+
+#: Ratio floors checked against the *current* run (machine-independent).
+DEFAULT_FLOORS: Dict[str, float] = {
+    "flow_lookup_speedup_512": 5.0,
+}
+
+#: Current throughput must be at least this fraction of baseline.
+DEFAULT_TOLERANCE = 0.2
+
+#: The result keys the tolerance band applies to (ops/sec throughputs).
+THROUGHPUT_KEYS = (
+    "flow_lookup_indexed_512",
+    "sim_dispatch_events",
+    "classify_memoized",
+)
+
+
+class GateResult:
+    """Outcome of one gate evaluation."""
+
+    __slots__ = ("passed", "failures", "checked")
+
+    def __init__(self, passed: bool, failures: List[str], checked: int):
+        self.passed = passed
+        self.failures = failures
+        self.checked = checked
+
+
+def load_baseline(path: Union[str, Path]) -> Optional[dict]:
+    """Read a baseline report; ``None`` when absent or unreadable."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(baseline, dict) or baseline.get("schema") != SCHEMA:
+        return None
+    return baseline
+
+
+def check_gate(
+    results: Dict[str, object],
+    baseline: Optional[dict] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    floors: Optional[Dict[str, float]] = None,
+) -> GateResult:
+    """Evaluate floors (always) and the baseline band (when given)."""
+    failures: List[str] = []
+    checked = 0
+    effective_floors = dict(DEFAULT_FLOORS if floors is None else floors)
+    if baseline is not None:
+        for key, value in baseline.get("floors", {}).items():
+            effective_floors.setdefault(key, float(value))
+
+    for key, floor in sorted(effective_floors.items()):
+        checked += 1
+        value = results.get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: missing from results (floor {floor:g})")
+        elif value < floor:
+            failures.append(f"{key}: {value:.2f} below floor {floor:g}")
+
+    if baseline is not None:
+        base_results = baseline.get("results", {})
+        for key in THROUGHPUT_KEYS:
+            base = base_results.get(key)
+            value = results.get(key)
+            if not isinstance(base, (int, float)) or base <= 0:
+                continue
+            checked += 1
+            if not isinstance(value, (int, float)):
+                failures.append(f"{key}: missing from results (baseline {base:.0f})")
+            elif value < base * tolerance:
+                failures.append(
+                    f"{key}: {value:.0f} ops/s is below {tolerance:.0%} of "
+                    f"baseline {base:.0f} ops/s"
+                )
+
+    return GateResult(passed=not failures, failures=failures, checked=checked)
+
+
+def make_report(results: Dict[str, object], quick: bool) -> dict:
+    """Wrap bench results in the versioned report envelope."""
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "results": results,
+        "floors": dict(DEFAULT_FLOORS),
+    }

@@ -1,0 +1,94 @@
+"""Runner for the standalone ``benchmarks/bench_*.py`` suites.
+
+The suites live outside the installed package (repo ``benchmarks/``
+directory), so they are loaded by file path with :mod:`importlib` and
+gated: a missing directory (installed wheel) or a missing optional
+dependency (``pytest`` imported at a suite's top level) skips the suite
+with a log line instead of failing the bench run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import logging
+from pathlib import Path
+from typing import Dict, List, Optional
+
+logger = logging.getLogger("repro.bench.suites")
+
+#: Suite name → (module file, main() kwargs overriding iteration counts
+#: in --quick mode).  Names match the bench_<name>.py files.
+SUITES: Dict[str, Dict[str, object]] = {
+    "t1_hwdb": {"quick": {"inserts": 2_000, "query_reps": 20}},
+    "t2_flow_setup": {"quick": {"packets": 300, "misses": 30}},
+    "t3_dhcp": {"quick": {"alloc_reps": 1_000}},
+    "t4_dns": {"quick": {"lookups": 20, "checks": 1_000}},
+    "t5_query": {"quick": {"rounds": 1, "ticks": 50}},
+    "e1_nat": {"quick": {"flows": 20, "bind_reps": 1_500}},
+}
+
+
+def benchmarks_dir(root: Optional[Path] = None) -> Optional[Path]:
+    """The repo's ``benchmarks/`` directory, or ``None`` when absent."""
+    if root is not None:
+        candidate = Path(root) / "benchmarks"
+        return candidate if candidate.is_dir() else None
+    # src/repro/bench/suites.py → repo root is three levels above repro.
+    candidate = Path(__file__).resolve().parents[3] / "benchmarks"
+    return candidate if candidate.is_dir() else None
+
+
+def _load_main(path: Path):
+    spec = importlib.util.spec_from_file_location(f"repro_bench_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return getattr(module, "main", None)
+
+
+def run_suites(
+    names: List[str],
+    out_dir: Path,
+    quick: bool = False,
+    root: Optional[Path] = None,
+) -> Dict[str, Optional[dict]]:
+    """Run the named suites; each writes its ``BENCH_*.json`` into
+    ``out_dir`` and contributes its report dict (``None`` = skipped)."""
+    reports: Dict[str, Optional[dict]] = {}
+    directory = benchmarks_dir(root)
+    if directory is None:
+        logger.warning("benchmarks/ directory not found; skipping suites")
+        return {name: None for name in names}
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        if name not in SUITES:
+            logger.warning("unknown bench suite %r; skipping", name)
+            reports[name] = None
+            continue
+        path = directory / f"bench_{name}.py"
+        if not path.is_file():
+            logger.warning("suite file %s missing; skipping", path)
+            reports[name] = None
+            continue
+        try:
+            main = _load_main(path)
+        except ImportError as exc:
+            # e.g. a suite importing pytest at module level in an
+            # environment without it — skip, don't fail the gate.
+            logger.warning("suite %s needs missing dependency (%s); skipping", name, exc)
+            reports[name] = None
+            continue
+        if main is None:
+            logger.warning("suite %s has no main(); skipping", name)
+            reports[name] = None
+            continue
+        kwargs = dict(SUITES[name]["quick"]) if quick else {}
+        out_path = out_dir / f"BENCH_{name.split('_')[0].upper()}.json"
+        # The suites name their output parameter either out_path or output.
+        out_param = "out_path" if "out_path" in inspect.signature(main).parameters else "output"
+        kwargs[out_param] = str(out_path)
+        reports[name] = main(**kwargs)
+        logger.info("suite %s complete -> %s", name, out_path)
+    return reports

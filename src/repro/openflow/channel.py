@@ -4,11 +4,19 @@ On the Homework router both run on the same box, so the channel is a
 low-latency local TCP connection; we model it as an ordered message pipe
 with configurable one-way latency, letting benches measure how channel
 latency dominates the flow-setup path (experiment T2).
+
+Deliveries are *coalesced* (DESIGN.md §14): messages sent in the same
+simulated instant share one arrival time, so they ride a single
+scheduled flush event instead of one heap entry each — a controller
+callback emitting flow-mod + packet-out + stats-reply costs one push/pop
+rather than three.  Ordering and the per-message event accounting are
+unchanged, so fuzzer trace hashes are identical with coalescing on or
+off (``COALESCE_DELIVERY`` is the test hook).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..core.errors import SimulationError
 from .messages import Hello, OpenFlowMessage
@@ -18,6 +26,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .datapath import Datapath
 
 ControllerSink = Callable[[OpenFlowMessage], None]
+
+#: Default for per-channel delivery coalescing; the golden-trace tests
+#: flip it off to prove batched and unbatched runs hash identically.
+COALESCE_DELIVERY = True
+
+
+class _Flush:
+    """Messages sharing one direction, sink and arrival time."""
+
+    __slots__ = ("due", "deliver", "messages")
+
+    def __init__(self, due: float, deliver: ControllerSink):
+        self.due = due
+        self.deliver = deliver
+        self.messages: List[OpenFlowMessage] = []
 
 
 class SecureChannel:
@@ -35,6 +58,10 @@ class SecureChannel:
         self.connected = False
         self.disconnects = 0
         self.reconnects = 0
+        self.coalesce = COALESCE_DELIVERY
+        self.flushes = 0
+        self._pending_to_controller: Optional[_Flush] = None
+        self._pending_to_switch: Optional[_Flush] = None
 
     def connect(self, datapath: "Datapath", controller_sink: ControllerSink) -> None:
         """Wire both ends and exchange Hello messages."""
@@ -46,7 +73,8 @@ class SecureChannel:
         self.to_switch(Hello())
 
     def disconnect(self) -> None:
-        """Drop the connection; in-flight and future messages are lost."""
+        """Drop the connection; future messages are lost (in-flight ones
+        were already serialised onto the wire and still arrive)."""
         if self.connected:
             self.disconnects += 1
         self.connected = False
@@ -65,24 +93,47 @@ class SecureChannel:
         self.to_controller(Hello())
         self.to_switch(Hello())
 
+    def _send(self, pending_attr: str, deliver: ControllerSink, msg: OpenFlowMessage) -> None:
+        """Deliver ``msg`` after one channel latency, coalescing same-
+        instant sends into one flush event."""
+        if self.latency <= 0:
+            deliver(msg)
+            return
+        if not self.coalesce:
+            self.sim.schedule(self.latency, lambda: deliver(msg))
+            return
+        due = self.sim.now + self.latency
+        flush = getattr(self, pending_attr)
+        # Bound-method equality (same receiver, same function) keeps a
+        # batch from outliving a connect() that swapped the sink.
+        if flush is not None and flush.due == due and flush.deliver == deliver:
+            flush.messages.append(msg)
+            return
+        flush = _Flush(due, deliver)
+        flush.messages.append(msg)
+        setattr(self, pending_attr, flush)
+        self.sim.schedule(self.latency, lambda: self._run_flush(pending_attr, flush))
+
+    def _run_flush(self, pending_attr: str, flush: _Flush) -> None:
+        if getattr(self, pending_attr) is flush:
+            setattr(self, pending_attr, None)
+        self.flushes += 1
+        messages = flush.messages
+        self.sim.note_coalesced(len(messages) - 1)
+        deliver = flush.deliver
+        for msg in messages:
+            deliver(msg)
+
     def to_controller(self, msg: OpenFlowMessage) -> None:
         """Switch → controller delivery after one channel latency."""
         if not self.connected or self._controller_sink is None:
             return
         self.to_controller_count += 1
-        sink = self._controller_sink
-        if self.latency <= 0:
-            sink(msg)
-        else:
-            self.sim.schedule(self.latency, lambda: sink(msg))
+        self._send("_pending_to_controller", self._controller_sink, msg)
 
     def to_switch(self, msg: OpenFlowMessage) -> None:
         """Controller → switch delivery after one channel latency."""
         if not self.connected or self.datapath is None:
             return
         self.to_switch_count += 1
-        datapath = self.datapath
-        if self.latency <= 0:
-            datapath.handle_message(msg)
-        else:
-            self.sim.schedule(self.latency, lambda: datapath.handle_message(msg))
+        self._send("_pending_to_switch", self.datapath.handle_message, msg)

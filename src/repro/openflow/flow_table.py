@@ -4,18 +4,33 @@
 table and a set of actions associated with each flow entry."  Entries
 carry priorities, idle/hard timeouts, cookies and packet/byte counters,
 matching OpenFlow 1.0 semantics.
+
+Lookup is indexed (DESIGN.md §14): exact-match rules live in one hash
+table probed with the packet's key tuple, and wildcard rules are grouped
+into buckets by wildcard mask — every rule in a bucket specifies the
+same fields (with the same CIDR prefixes), so a single masked hash probe
+finds all candidates at once.  Buckets are visited in descending
+max-priority order with early exit, preserving the linear scan's exact
+winner (priority, then insertion order).  :class:`LinearFlowTable` keeps
+the original O(n) scan as the differential-testing reference.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import DatapathError
 from .actions import ActionList
-from .match import FlowKey, Match
+from .match import FlowKey, MATCH_FIELDS, Match
 
 DEFAULT_PRIORITY = 0x8000
 NO_TIMEOUT = 0.0
+
+#: Field indices (into MATCH_FIELDS / FlowKey.as_tuple()) of the two
+#: CIDR-capable fields.
+_NW_SRC_INDEX = MATCH_FIELDS.index("nw_src")
+_NW_DST_INDEX = MATCH_FIELDS.index("nw_dst")
 
 
 class FlowEntry:
@@ -33,6 +48,8 @@ class FlowEntry:
         "packet_count",
         "byte_count",
         "send_flow_removed",
+        "_order",
+        "_index_key",
     )
 
     def __init__(
@@ -57,6 +74,11 @@ class FlowEntry:
         self.packet_count = 0
         self.byte_count = 0
         self.send_flow_removed = bool(send_flow_removed)
+        # Index bookkeeping, owned by the FlowTable holding this entry:
+        # insertion order (the priority tie-breaker) and the (mask, key)
+        # pair locating the entry's bucket slot.
+        self._order = 0
+        self._index_key: Optional[Tuple[Tuple, Tuple]] = None
 
     def touch(self, now: float, nbytes: int) -> None:
         """Record one matched packet."""
@@ -83,19 +105,150 @@ class FlowEntry:
         )
 
 
+def _prefix_mask(prefixlen: int) -> int:
+    """The 32-bit netmask for a prefix length (<= 0 masks everything off)."""
+    if prefixlen <= 0:
+        return 0
+    return ((1 << prefixlen) - 1) << (32 - prefixlen)
+
+
+def _mask_of(match: Match) -> Tuple:
+    """The wildcard mask identifying a match's bucket.
+
+    One element per concrete field: ``(field_index, netmask-or-None)``.
+    Two matches share a bucket iff they specify the same fields with the
+    same CIDR prefixes, so a bucket probe is a single masked hash lookup.
+    """
+    spec: List[Tuple[int, Optional[int]]] = []
+    for index, field in enumerate(MATCH_FIELDS):
+        value = getattr(match, field)
+        if value is None:
+            continue
+        if index == _NW_SRC_INDEX:
+            spec.append((index, _prefix_mask(match.nw_src_prefix)))
+        elif index == _NW_DST_INDEX:
+            spec.append((index, _prefix_mask(match.nw_dst_prefix)))
+        else:
+            spec.append((index, None))
+    return tuple(spec)
+
+
+def _bucket_key(match: Match, mask: Tuple) -> Tuple:
+    """A match's hash slot within its bucket: masked concrete values."""
+    parts: List[int] = []
+    for index, netmask in mask:
+        value = int(getattr(match, MATCH_FIELDS[index]))
+        parts.append(value if netmask is None else value & netmask)
+    return tuple(parts)
+
+
+class _Bucket:
+    """All wildcard entries sharing one mask, hashed by concrete fields.
+
+    ``slots`` maps a masked value tuple to the entries carrying exactly
+    those concrete values, kept sorted best-first (descending priority,
+    ascending insertion order) so a probe's winner is ``slot[0]``.
+    """
+
+    __slots__ = ("mask", "slots", "size", "_prio_counts", "_max_priority")
+
+    def __init__(self, mask: Tuple):
+        self.mask = mask
+        self.slots: Dict[Tuple, List[FlowEntry]] = {}
+        self.size = 0
+        self._prio_counts: Dict[int, int] = {}
+        self._max_priority = 0
+
+    @property
+    def max_priority(self) -> int:
+        return self._max_priority
+
+    def insert(self, key: Tuple, entry: FlowEntry) -> None:
+        slot = self.slots.get(key)
+        if slot is None:
+            self.slots[key] = [entry]
+        else:
+            rank = (-entry.priority, entry._order)
+            position = 0
+            while position < len(slot) and (
+                (-slot[position].priority, slot[position]._order) < rank
+            ):
+                position += 1
+            slot.insert(position, entry)
+        self.size += 1
+        count = self._prio_counts.get(entry.priority, 0) + 1
+        self._prio_counts[entry.priority] = count
+        if entry.priority > self._max_priority:
+            self._max_priority = entry.priority
+
+    def remove(self, key: Tuple, entry: FlowEntry) -> None:
+        slot = self.slots.get(key)
+        if slot is None:
+            return
+        for position, existing in enumerate(slot):
+            if existing is entry:
+                del slot[position]
+                break
+        else:
+            return
+        if not slot:
+            del self.slots[key]
+        self.size -= 1
+        count = self._prio_counts[entry.priority] - 1
+        if count:
+            self._prio_counts[entry.priority] = count
+        else:
+            del self._prio_counts[entry.priority]
+            if entry.priority == self._max_priority:
+                self._max_priority = (
+                    max(self._prio_counts) if self._prio_counts else 0
+                )
+
+    def probe(self, key_tuple: Tuple) -> Optional[FlowEntry]:
+        """Best entry matching the packet's key tuple, or None.
+
+        Every entry in a slot genuinely matches (masked equality is the
+        match condition field-for-field), so the best-first slot order
+        makes the head the bucket's answer.
+        """
+        parts: List[int] = []
+        for index, netmask in self.mask:
+            value = key_tuple[index]
+            if value is None:
+                # Field concrete in the mask but absent from the packet
+                # (e.g. a transport port on an ARP frame): no rule in
+                # this bucket can match.
+                return None
+            parts.append(value if netmask is None else value & netmask)
+        slot = self.slots.get(tuple(parts))
+        return slot[0] if slot else None
+
+
 class FlowTable:
     """Priority-ordered rule set with OpenFlow add/modify/delete semantics.
 
-    Lookup scans entries in descending priority (insertion order breaks
-    ties, matching NOX-era switch behaviour).  The datapath keeps its
+    Lookup resolves exactly as a descending-priority scan would
+    (insertion order breaks ties, matching NOX-era switch behaviour) but
+    probes the hash index instead of scanning.  The datapath keeps its
     exact-match fast path separately; this table is the "userspace" tier.
     """
 
     def __init__(self, max_entries: int = 65536):
         self._entries: List[FlowEntry] = []
+        #: Negated priorities aligned with ``_entries`` so bisect finds
+        #: insertion points without a Python-level walk.
+        self._neg_priorities: List[int] = []
         self.max_entries = max_entries
         self.lookup_count = 0
         self.matched_count = 0
+        # The index: exact-match rules in one dict keyed by the full key
+        # tuple; wildcard rules in per-mask buckets.
+        self._exact: Dict[Tuple, List[FlowEntry]] = {}
+        self._exact_size = 0
+        self._buckets: Dict[Tuple, _Bucket] = {}
+        self._ordered_buckets: List[_Bucket] = []
+        self._order_dirty = False
+        self._next_order = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -105,6 +258,96 @@ class FlowTable:
 
     def entries(self) -> List[FlowEntry]:
         return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    def _index(self, entry: FlowEntry) -> None:
+        if entry.match.is_exact:
+            key = _bucket_key(entry.match, _EXACT_MASK)
+            entry._index_key = (_EXACT_SENTINEL, key)
+            slot = self._exact.get(key)
+            if slot is None:
+                self._exact[key] = [entry]
+            else:
+                rank = (-entry.priority, entry._order)
+                position = 0
+                while position < len(slot) and (
+                    (-slot[position].priority, slot[position]._order) < rank
+                ):
+                    position += 1
+                slot.insert(position, entry)
+            self._exact_size += 1
+            return
+        mask = _mask_of(entry.match)
+        key = _bucket_key(entry.match, mask)
+        entry._index_key = (mask, key)
+        bucket = self._buckets.get(mask)
+        if bucket is None:
+            bucket = _Bucket(mask)
+            self._buckets[mask] = bucket
+            self._order_dirty = True
+        bucket.insert(key, entry)
+        self._order_dirty = True
+
+    def _unindex(self, entry: FlowEntry) -> None:
+        if entry._index_key is None:
+            return
+        mask, key = entry._index_key
+        entry._index_key = None
+        if mask is _EXACT_SENTINEL:
+            slot = self._exact.get(key)
+            if slot is None:
+                return
+            for position, existing in enumerate(slot):
+                if existing is entry:
+                    del slot[position]
+                    self._exact_size -= 1
+                    break
+            if not slot:
+                del self._exact[key]
+            return
+        bucket = self._buckets.get(mask)
+        if bucket is None:
+            return
+        bucket.remove(key, entry)
+        if bucket.size == 0:
+            del self._buckets[mask]
+        self._order_dirty = True
+
+    def _bucket_order(self) -> List[_Bucket]:
+        if self._order_dirty:
+            self._ordered_buckets = sorted(
+                self._buckets.values(), key=lambda b: -b.max_priority
+            )
+            self._order_dirty = False
+        return self._ordered_buckets
+
+    def _replace_candidate(self, entry: FlowEntry) -> Optional[FlowEntry]:
+        """An installed rule with the same pattern and priority, if any."""
+        if entry.match.is_exact:
+            slot = self._exact.get(_bucket_key(entry.match, _EXACT_MASK))
+        else:
+            mask = _mask_of(entry.match)
+            bucket = self._buckets.get(mask)
+            slot = (
+                bucket.slots.get(_bucket_key(entry.match, mask))
+                if bucket is not None
+                else None
+            )
+        if not slot:
+            return None
+        for existing in slot:
+            if existing.priority == entry.priority and existing.match.same_pattern(
+                entry.match
+            ):
+                return existing
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
 
     def add(
         self, entry: FlowEntry, replace: bool = True, check_overlap: bool = False
@@ -128,31 +371,46 @@ class FlowTable:
                         f"{existing.match} at priority {entry.priority}"
                     )
         if replace:
-            for index, existing in enumerate(self._entries):
-                if (
-                    existing.priority == entry.priority
-                    and existing.match.same_pattern(entry.match)
-                ):
-                    self._entries[index] = entry
-                    return
+            existing = self._replace_candidate(entry)
+            if existing is not None:
+                # Take over the old rule's list position and tie-break
+                # order, exactly as the in-place replacement did.
+                entry._order = existing._order
+                position = self._entries.index(existing)
+                self._entries[position] = entry
+                self._unindex(existing)
+                self._index(entry)
+                return
         if len(self._entries) >= self.max_entries:
             raise DatapathError(f"flow table full ({self.max_entries} entries)")
-        index = 0
-        while (
-            index < len(self._entries)
-            and self._entries[index].priority >= entry.priority
-        ):
-            index += 1
+        entry._order = self._next_order
+        self._next_order += 1
+        index = bisect_right(self._neg_priorities, -entry.priority)
         self._entries.insert(index, entry)
+        self._neg_priorities.insert(index, -entry.priority)
+        self._index(entry)
 
     def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
         """Highest-priority entry matching ``key``, or None (table miss)."""
         self.lookup_count += 1
-        for entry in self._entries:
-            if entry.match.matches(key):
-                self.matched_count += 1
-                return entry
-        return None
+        key_tuple = key.as_tuple()
+        best: Optional[FlowEntry] = None
+        slot = self._exact.get(key_tuple)
+        if slot:
+            best = slot[0]
+        for bucket in self._bucket_order():
+            if best is not None and bucket.max_priority < best.priority:
+                break
+            candidate = bucket.probe(key_tuple)
+            if candidate is not None and (
+                best is None
+                or (-candidate.priority, candidate._order)
+                < (-best.priority, best._order)
+            ):
+                best = candidate
+        if best is not None:
+            self.matched_count += 1
+        return best
 
     def modify(
         self, match: Match, actions: ActionList, strict: bool = False,
@@ -183,7 +441,11 @@ class FlowTable:
                 removed.append(entry)
             else:
                 kept.append(entry)
-        self._entries = kept
+        if removed:
+            self._entries = kept
+            self._neg_priorities = [-entry.priority for entry in kept]
+            for entry in removed:
+                self._unindex(entry)
         return removed
 
     @staticmethod
@@ -216,13 +478,63 @@ class FlowTable:
                 kept.append(entry)
             else:
                 expired.append((entry, reason))
-        self._entries = kept
+        if expired:
+            self._entries = kept
+            self._neg_priorities = [-entry.priority for entry in kept]
+            for entry, _reason in expired:
+                self._unindex(entry)
         return expired
 
     def clear(self) -> int:
         count = len(self._entries)
         self._entries = []
+        self._neg_priorities = []
+        self._exact = {}
+        self._exact_size = 0
+        self._buckets = {}
+        self._ordered_buckets = []
+        self._order_dirty = False
         return count
+
+    def index_stats(self) -> Dict[str, int]:
+        """Index shape, for diagnostics and the hot-path bench."""
+        return {
+            "entries": len(self._entries),
+            "exact": self._exact_size,
+            "wildcard_buckets": len(self._buckets),
+        }
+
+
+#: Sentinel mask marking entries indexed in the exact-match dict.
+_EXACT_SENTINEL: Tuple = ("exact",)
+
+#: The all-concrete mask: every field, full netmasks on the CIDR fields.
+_EXACT_MASK: Tuple = tuple(
+    (index, 0xFFFFFFFF if index in (_NW_SRC_INDEX, _NW_DST_INDEX) else None)
+    for index in range(len(MATCH_FIELDS))
+)
+
+#: The indexed table is the default; the explicit name documents intent
+#: where the index itself is under test.
+IndexedFlowTable = FlowTable
+
+
+class LinearFlowTable(FlowTable):
+    """The original O(n) priority scan, kept as the testing reference.
+
+    Mutation semantics are inherited (the entry list is maintained
+    identically); only ``lookup`` differs — a literal walk of the
+    priority-sorted list.  The differential property tests assert this
+    and :class:`FlowTable` always pick the identical winner.
+    """
+
+    def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
+        self.lookup_count += 1
+        for entry in self._entries:
+            if entry.match.matches(key):
+                self.matched_count += 1
+                return entry
+        return None
 
 
 def _overlaps(a: Match, b: Match) -> bool:
@@ -231,8 +543,6 @@ def _overlaps(a: Match, b: Match) -> bool:
     Field-wise: the matches are disjoint iff some field is specified by
     both with incompatible values; otherwise a witness packet exists.
     """
-    from .match import MATCH_FIELDS
-
     for field in MATCH_FIELDS:
         value_a = getattr(a, field)
         value_b = getattr(b, field)
@@ -252,8 +562,6 @@ def _overlaps(a: Match, b: Match) -> bool:
 
 def _covers(wide: Match, narrow: Match) -> bool:
     """True when every packet matched by ``narrow`` is matched by ``wide``."""
-    from .match import MATCH_FIELDS
-
     for field in MATCH_FIELDS:
         wide_value = getattr(wide, field)
         if wide_value is None:

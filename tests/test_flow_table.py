@@ -227,3 +227,74 @@ class TestFlowTable:
             Match(nw_src="10.0.0.0", nw_src_prefix=16, dl_type=ETH_TYPE_IPV4)
         )
         assert len(removed) == 1
+
+
+class TestMutationEdges:
+    """Edge cases around replacement, expiry-vs-lookup, and counters."""
+
+    def test_readd_same_pattern_and_priority_replaces(self):
+        table = FlowTable()
+        first = FlowEntry(Match(tp_dst=80), output(1), priority=10)
+        table.add(first)
+        first.touch(1.0, 500)
+        second = FlowEntry(Match(tp_dst=80), output(2), priority=10)
+        table.add(second)
+        # One entry, the new one: counters reset, actions swapped.
+        assert len(table) == 1
+        winner = table.lookup(key(dport=80))
+        assert winner is second
+        assert winner.packet_count == 0 and winner.byte_count == 0
+        assert isinstance(winner.actions[0], Output) and winner.actions[0].port == 2
+        assert table.index_stats()["entries"] == 1
+
+    def test_readd_replacement_keeps_tie_break_position(self):
+        table = FlowTable()
+        older = FlowEntry(Match(tp_dst=80), output(1), priority=10)
+        sibling = FlowEntry(Match(in_port=1), output(3), priority=10)
+        table.add(older)
+        table.add(sibling)
+        # Replacing the older rule must not demote it behind its
+        # same-priority sibling: insertion order is inherited.
+        replacement = FlowEntry(Match(tp_dst=80), output(2), priority=10)
+        table.add(replacement)
+        assert table.lookup(key(dport=80)) is replacement
+
+    def test_readd_different_priority_does_not_replace(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(tp_dst=80), output(1), priority=10))
+        table.add(FlowEntry(Match(tp_dst=80), output(2), priority=20))
+        assert len(table) == 2
+
+    def test_expired_but_unswept_entry_still_matches(self):
+        # Expiry is a sweep (the datapath's periodic expire()), not a
+        # lookup-side filter: a timed-out entry keeps matching until the
+        # sweep removes it, exactly as the pre-index table behaved.
+        table = FlowTable()
+        entry = FlowEntry(Match(tp_dst=80), output(1), idle_timeout=2.0)
+        table.add(entry)
+        assert entry.expired(10.0) == "idle"
+        assert table.lookup(key(dport=80)) is entry
+        expired = table.expire(10.0)
+        assert [(e, r) for e, r in expired] == [(entry, "idle")]
+        assert table.lookup(key(dport=80)) is None
+
+    def test_stats_counters_survive_eviction(self):
+        table = FlowTable()
+        entry = FlowEntry(Match(tp_dst=80), output(1), hard_timeout=5.0)
+        table.add(entry)
+        hit = table.lookup(key(dport=80))
+        hit.touch(1.0, 1500)
+        hit.touch(2.0, 1500)
+        miss = table.lookup(key(dport=8080))
+        assert miss is None
+        [(evicted, reason)] = table.expire(100.0)
+        assert reason == "hard"
+        # The evicted entry carries its final counters (flow-removed
+        # messages report them) and the table's own stats are untouched
+        # by the eviction.
+        assert evicted.packet_count == 2 and evicted.byte_count == 3000
+        assert table.lookup_count == 2 and table.matched_count == 1
+        assert len(table) == 0 and table.index_stats()["entries"] == 0
+        # Post-eviction lookups keep counting on the same counters.
+        assert table.lookup(key(dport=80)) is None
+        assert table.lookup_count == 3 and table.matched_count == 1

@@ -1,0 +1,190 @@
+"""Differential property tests: indexed vs linear flow-table lookup.
+
+Seeded random operation sequences (add with replace/overlap-check,
+strict and loose delete, idle/hard expiry, counter touches) are applied
+to a :class:`FlowTable` (the indexed implementation) and a
+:class:`LinearFlowTable` (the retained O(n) reference) in lockstep;
+after every mutation both tables must pick the identical winner for a
+batch of random packet keys.  Entries are tagged with unique cookies so
+"identical winner" is exact, not just same-pattern.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.errors import DatapathError
+from repro.net import ETH_TYPE_IPV4, PROTO_TCP, PROTO_UDP
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.openflow.actions import output
+from repro.openflow.flow_table import FlowEntry, FlowTable, IndexedFlowTable, LinearFlowTable
+from repro.openflow.match import FlowKey, Match
+
+MACS = tuple(MACAddress(f"02:aa:00:00:00:{i:02x}") for i in range(1, 5))
+IPS = tuple(IPv4Address(f"10.1.{i}.{j}") for i in (0, 1) for j in (5, 6))
+PREFIXES = (8, 16, 24, 32)
+PROTOS = (PROTO_TCP, PROTO_UDP)
+PORTS = (53, 80, 443)
+PRIORITIES = (1, 10, 10, 100, 0x8000)
+
+
+def random_key(rng: random.Random) -> FlowKey:
+    has_ip = rng.random() < 0.85
+    has_tp = has_ip and rng.random() < 0.8
+    return FlowKey(
+        in_port=rng.choice((1, 2)),
+        dl_src=rng.choice(MACS),
+        dl_dst=rng.choice(MACS),
+        dl_type=ETH_TYPE_IPV4 if has_ip else 0x0806,
+        nw_src=rng.choice(IPS) if has_ip else None,
+        nw_dst=rng.choice(IPS) if has_ip else None,
+        nw_proto=rng.choice(PROTOS) if has_ip else None,
+        tp_src=rng.choice(PORTS) if has_tp else None,
+        tp_dst=rng.choice(PORTS) if has_tp else None,
+    )
+
+
+def random_match(rng: random.Random) -> Match:
+    if rng.random() < 0.15:
+        # Fully-concrete pattern: exercises the exact-match index.
+        key = random_key(rng)
+        if key.nw_src is not None and key.tp_src is not None:
+            return Match.from_key(key)
+    kwargs = {}
+    if rng.random() < 0.4:
+        kwargs["in_port"] = rng.choice((1, 2))
+    if rng.random() < 0.4:
+        kwargs["dl_src"] = rng.choice(MACS)
+    if rng.random() < 0.3:
+        kwargs["dl_dst"] = rng.choice(MACS)
+    if rng.random() < 0.3:
+        kwargs["dl_type"] = ETH_TYPE_IPV4
+    if rng.random() < 0.4:
+        kwargs["nw_src"] = rng.choice(IPS)
+        kwargs["nw_src_prefix"] = rng.choice(PREFIXES)
+    if rng.random() < 0.4:
+        kwargs["nw_dst"] = rng.choice(IPS)
+        kwargs["nw_dst_prefix"] = rng.choice(PREFIXES)
+    if rng.random() < 0.4:
+        kwargs["nw_proto"] = rng.choice(PROTOS)
+    if rng.random() < 0.4:
+        kwargs["tp_src"] = rng.choice(PORTS)
+    if rng.random() < 0.4:
+        kwargs["tp_dst"] = rng.choice(PORTS)
+    return Match(**kwargs)
+
+
+def _cookie(entry) -> object:
+    return None if entry is None else entry.cookie
+
+
+def run_differential(seed: int, steps: int) -> None:
+    rng = random.Random(seed)
+    indexed, linear = IndexedFlowTable(), LinearFlowTable()
+    cookies = itertools.count(1)
+    now = 0.0
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.55:
+            match = random_match(rng)
+            priority = rng.choice(PRIORITIES)
+            idle = rng.choice((0.0, 0.0, 5.0))
+            hard = rng.choice((0.0, 0.0, 12.0))
+            replace = rng.random() < 0.8
+            check_overlap = rng.random() < 0.2
+            cookie = next(cookies)
+            outcomes = []
+            for table in (indexed, linear):
+                entry = FlowEntry(
+                    match,
+                    output(2),
+                    priority=priority,
+                    idle_timeout=idle,
+                    hard_timeout=hard,
+                    cookie=cookie,
+                    created_at=now,
+                )
+                try:
+                    table.add(entry, replace=replace, check_overlap=check_overlap)
+                    outcomes.append("added")
+                except DatapathError:
+                    outcomes.append("overlap-refused")
+            assert outcomes[0] == outcomes[1]
+        elif roll < 0.7:
+            match = random_match(rng)
+            strict = rng.random() < 0.5
+            priority = rng.choice(PRIORITIES)
+            removed_indexed = indexed.delete(match, strict=strict, priority=priority)
+            removed_linear = linear.delete(match, strict=strict, priority=priority)
+            assert sorted(e.cookie for e in removed_indexed) == sorted(
+                e.cookie for e in removed_linear
+            )
+        elif roll < 0.85:
+            now += rng.uniform(0.5, 6.0)
+            expired_indexed = indexed.expire(now)
+            expired_linear = linear.expire(now)
+            assert sorted((e.cookie, r) for e, r in expired_indexed) == sorted(
+                (e.cookie, r) for e, r in expired_linear
+            )
+        else:
+            now += rng.uniform(0.0, 1.0)
+
+        assert len(indexed) == len(linear)
+        for _ in range(6):
+            key = random_key(rng)
+            winner_indexed = indexed.lookup(key)
+            winner_linear = linear.lookup(key)
+            assert _cookie(winner_indexed) == _cookie(winner_linear), (
+                f"seed={seed} key={key}: indexed={winner_indexed} "
+                f"linear={winner_linear}"
+            )
+            if winner_indexed is not None:
+                # Touch both twins so idle expiry stays in lockstep.
+                winner_indexed.touch(now, 100)
+                winner_linear.touch(now, 100)
+
+    # Final sweep: entry lists agree entry-for-entry.
+    assert [e.cookie for e in indexed.entries()] == [
+        e.cookie for e in linear.entries()
+    ]
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("seed", range(8))
+def test_differential_lookup_fast(seed):
+    run_differential(seed, steps=120)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8, 48))
+def test_differential_lookup_soak(seed):
+    run_differential(seed, steps=400)
+
+
+@pytest.mark.tier1
+def test_flow_table_is_indexed_by_default():
+    assert FlowTable is IndexedFlowTable
+    table = FlowTable()
+    table.add(FlowEntry(Match(tp_dst=80), output(1), priority=10))
+    table.add(
+        FlowEntry(
+            Match.from_key(
+                FlowKey(
+                    in_port=1,
+                    dl_src=MACS[0],
+                    dl_dst=MACS[1],
+                    dl_type=ETH_TYPE_IPV4,
+                    nw_src=IPS[0],
+                    nw_dst=IPS[1],
+                    nw_proto=PROTO_TCP,
+                    tp_src=80,
+                    tp_dst=80,
+                )
+            ),
+            output(2),
+            priority=20,
+        )
+    )
+    stats = table.index_stats()
+    assert stats == {"entries": 2, "exact": 1, "wildcard_buckets": 1}

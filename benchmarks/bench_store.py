@@ -1,0 +1,75 @@
+"""Durable-store suite — the standalone face of :mod:`repro.bench.store`.
+
+Run under pytest-benchmark for statistics, or directly —
+``PYTHONPATH=src python benchmarks/bench_store.py`` — to write a
+``BENCH_STORE.json`` report in the gate envelope (the committed copy at
+the repo root is the baseline for ``python -m repro bench --store``).
+"""
+
+import json
+
+from repro.bench.gate import make_report
+from repro.bench.store import ROW, SCHEMA, STORE_FLOORS, run_store
+from repro.core.clock import SimulatedClock
+from repro.hwdb.database import HomeworkDatabase
+from repro.store import DurableStore, recover_store
+
+
+def _stored_db(tmp, **overrides):
+    clock = SimulatedClock()
+    db = HomeworkDatabase(clock)
+    db.create_table("flows", SCHEMA, 4096)
+    config = dict(flush_interval=1e9, group_records=256, segment_rows=512)
+    config.update(overrides)
+    store = DurableStore(tmp, clock, **config)
+    store.attach(db)
+    return clock, db, store
+
+
+def test_store_insert_with_wal(benchmark, tmp_path):
+    """Insert with the WAL attached: the realistic durable write path."""
+    clock, db, store = _stored_db(str(tmp_path))
+
+    def insert_100():
+        for _ in range(100):
+            clock.advance(0.001)
+            db.insert("flows", ROW)
+
+    benchmark(insert_100)
+    benchmark.extra_info["rows_per_op"] = 100
+    store.close()
+
+
+def test_store_recovery(benchmark, tmp_path):
+    """Rebuild ring + archive from a 10k-row store image."""
+    clock, db, store = _stored_db(str(tmp_path))
+    for _ in range(10_000):
+        clock.advance(0.0001)
+        db.insert("flows", ROW)
+    store.flush()
+    store.close()
+
+    def recover():
+        scratch = HomeworkDatabase(SimulatedClock())
+        recovered = recover_store(str(tmp_path), scratch)
+        recovered.store.close()
+        return recovered.tables["flows"]["total"]
+
+    total = benchmark(recover)
+    assert total == 10_000
+
+
+def main(output="BENCH_STORE.json", quick=False) -> dict:
+    results = run_store(quick=quick)
+    report = make_report(results, quick=quick, floors=STORE_FLOORS)
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {output}")
+    return report
+
+
+if __name__ == "__main__":
+    from common import bench_output
+
+    main(output=str(bench_output("BENCH_STORE.json")))

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro fuzz        # deterministic scenario fuzzing (repro.check)
     python -m repro fleet       # sharded multi-household runs (repro.fleet)
     python -m repro bench       # perf harness + regression gate (repro.bench)
+    python -m repro store       # durable-store inspection/recovery (repro.store)
     python -m repro explain     # show the query engine's plan for a CQL query
 
 Each demo runs entirely in simulated time and shows what the paper's
@@ -231,6 +232,11 @@ def main(argv=None) -> int:
         from .bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "store":
+        # And the durable-store inspector.
+        from .store.cli import main as store_main
+
+        return store_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -249,6 +255,7 @@ def main(argv=None) -> int:
             "fuzz",
             "fleet",
             "bench",
+            "store",
             "explain",
         ],
         help="which walk-through to run (default: demo)",

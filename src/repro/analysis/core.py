@@ -165,8 +165,9 @@ class Rule:
 
 
 def default_rules() -> List[Rule]:
-    """The five repo-specific rule families, in reporting order."""
+    """The repo-specific rule families, in reporting order."""
     from .clocks import ClockDisciplineRule
+    from .fswrites import FileWriteRule
     from .hygiene import ExceptionHygieneRule, PrintRule
     from .layers import LayeringRule
     from .metric_names import MetricNameRule
@@ -179,6 +180,7 @@ def default_rules() -> List[Rule]:
         ExceptionHygieneRule(),
         PrintRule(),
         MetricNameRule(),
+        FileWriteRule(),
     ]
 
 

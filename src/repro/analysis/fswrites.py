@@ -1,0 +1,91 @@
+"""The durable-write rule: filesystem writes go through the storage layer.
+
+The repo's durability story lives in exactly three places — the
+``repro.store`` tier (WAL + segments, crash-safe by construction), the
+``repro.hwdb.persist`` sinks (rotating exports) and the bench harness
+(result files).  A raw ``open(path, "w")`` anywhere else is a bug
+factory: it bypasses atomic-rename discipline, escapes the torn-write
+fault model the fuzzer exercises, and silently widens the set of files a
+crashed process can leave half-written.
+
+The rule flags calls to the ``open`` builtin whose mode creates,
+truncates or appends (first mode character ``w``, ``a`` or ``x``),
+whether the mode is the second positional argument or a ``mode=``
+keyword.  Read modes — including ``r+`` in-place patching, which the
+fuzzer's fault injector uses deliberately — pass.  Calls where the mode
+is not a string literal are ignored: this is a convention check, not a
+dataflow analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import ast
+
+from .core import Rule, SourceFile, Violation
+
+#: Module prefixes allowed to create/truncate/append files directly.
+ALLOWED_PREFIXES: Tuple[str, ...] = (
+    "repro.store",
+    "repro.hwdb.persist",
+    "repro.bench",
+)
+
+
+def _is_allowed(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in ALLOWED_PREFIXES
+    )
+
+
+def _literal_mode(call: ast.Call) -> Optional[str]:
+    """The mode string of an ``open()`` call, if literally present."""
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
+            ):
+                return keyword.value.value
+            return None
+    if len(call.args) >= 2:
+        arg = call.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+    return None  # defaulted mode is "r"
+
+
+def _is_write_mode(mode: str) -> bool:
+    return bool(mode) and mode[0] in "wax"
+
+
+class FileWriteRule(Rule):
+    name = "fswrites"
+    ids = ("fs-write",)
+    description = "file creation/append only inside the durable-storage layer"
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        if _is_allowed(source.module):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "open"):
+                continue
+            mode = _literal_mode(node)
+            if mode is None or not _is_write_mode(mode):
+                continue
+            yield Violation(
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule="fs-write",
+                message=(
+                    f"open(..., {mode!r}) outside the storage layer: route "
+                    f"durable writes through repro.store / repro.hwdb.persist "
+                    f"(allowed prefixes: {', '.join(ALLOWED_PREFIXES)})"
+                ),
+            )

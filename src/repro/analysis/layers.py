@@ -4,12 +4,15 @@ The contract (low to high; a module may import its own layer or below,
 never above):
 
 ====== =====================================================
- 0      kernel — ``core.clock``, ``core.errors``, ``core.events``
+ 0      kernel — ``core.clock``, ``core.errors``, ``core.events``,
+        ``core.logging_setup`` (stdlib-only logging config)
  1      ``net`` (+ ``core.config``, shared config vocabulary)
  2      ``openflow``
  3      ``hwdb``
- 4      ``query`` — the continuous-query engine compiles hwdb's CQL and
-        drives its tables, but hwdb never imports it (duck-typed attach)
+ 4      ``query`` + ``store`` — both compile against hwdb's tables and
+        attach through duck-typed hooks (``set_query_engine`` /
+        ``set_store``), so hwdb never imports either; they also never
+        import each other
  5      ``nox``
  6      ``services``
  7      ``policy``
@@ -45,11 +48,13 @@ LAYER_PREFIXES: Tuple[Tuple[int, str], ...] = (
     (0, "repro.core.clock"),
     (0, "repro.core.errors"),
     (0, "repro.core.events"),
+    (0, "repro.core.logging_setup"),
     (1, "repro.net"),
     (1, "repro.core.config"),
     (2, "repro.openflow"),
     (3, "repro.hwdb"),
     (4, "repro.query"),
+    (4, "repro.store"),
     (5, "repro.nox"),
     (6, "repro.services"),
     (7, "repro.policy"),
@@ -72,7 +77,7 @@ LAYER_NAMES: Dict[int, str] = {
     1: "net",
     2: "openflow",
     3: "hwdb",
-    4: "query",
+    4: "query/store",
     5: "nox",
     6: "services",
     7: "policy",

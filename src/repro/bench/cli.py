@@ -5,6 +5,7 @@ Typical uses::
     python -m repro bench                       # full run, gate vs BENCH_HOTPATH.json
     python -m repro bench --quick --out /tmp/b.json   # CI smoke
     python -m repro bench --write-baseline      # refresh the committed baseline
+    python -m repro bench --store               # also gate the durable-store suite
     python -m repro bench --suites t2_flow_setup --suites-out bench-out
 
 Exit status is nonzero when the regression gate fails (a ratio floor is
@@ -23,12 +24,14 @@ from typing import List, Optional
 from ..core.logging_setup import configure_logging
 from .gate import DEFAULT_TOLERANCE, check_gate, load_baseline, make_report
 from .hotpath import run_hotpath
+from .store import STORE_FLOORS, STORE_THROUGHPUT_KEYS, run_store
 from .suites import SUITES, run_suites
 
 logger = logging.getLogger("repro.bench")
 
-#: The committed baseline lives at the repo root, next to pyproject.
+#: The committed baselines live at the repo root, next to pyproject.
 DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "BENCH_HOTPATH.json"
+DEFAULT_STORE_BASELINE = Path(__file__).resolve().parents[3] / "BENCH_STORE.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="report only; skip floors and baseline comparison",
     )
     parser.add_argument(
+        "--store",
+        action="store_true",
+        help="also run the durable-store suite and gate it against its baseline",
+    )
+    parser.add_argument(
+        "--store-baseline",
+        type=Path,
+        default=DEFAULT_STORE_BASELINE,
+        help="store-suite baseline (default: committed BENCH_STORE.json)",
+    )
+    parser.add_argument(
         "--suites",
         action="append",
         default=[],
@@ -101,6 +115,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     logger.info("sim dispatch: %.0f events/s", results["sim_dispatch_events"])
     logger.info("classification: %.0f ops/s", results["classify_memoized"])
 
+    store_results = None
+    store_report = None
+    if args.store:
+        logger.info("running durable-store benches")
+        store_results = run_store(quick=args.quick)
+        store_report = make_report(store_results, quick=args.quick, floors=STORE_FLOORS)
+        logger.info(
+            "store: append ratio %.3f, commit %.0f rows/s, "
+            "recover %.0f rows/s, scan %.0f rows/s",
+            store_results["store_insert_append_ratio"],
+            store_results["store_wal_commit_rows_per_sec"],
+            store_results["store_recover_rows_per_sec"],
+            store_results["store_archive_scan_rows_per_sec"],
+        )
+
     if args.suites:
         names = sorted(SUITES) if "all" in args.suites else args.suites
         run_suites(names, args.suites_out, quick=args.quick)
@@ -110,11 +139,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         logger.info("report written to %s", args.out)
+        if store_report is not None:
+            store_out = args.out.with_name(args.out.stem + "_store" + args.out.suffix)
+            with open(store_out, "w", encoding="utf-8") as fh:
+                json.dump(store_report, fh, indent=2, sort_keys=True)
+            logger.info("store report written to %s", store_out)
 
     if args.write_baseline:
         with open(args.baseline, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         logger.info("baseline written to %s", args.baseline)
+        if store_report is not None:
+            with open(args.store_baseline, "w", encoding="utf-8") as fh:
+                json.dump(store_report, fh, indent=2, sort_keys=True)
+            logger.info("store baseline written to %s", args.store_baseline)
         return 0
 
     if args.no_gate:
@@ -126,12 +164,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             "no usable baseline at %s; gating on ratio floors only", args.baseline
         )
     gate = check_gate(results, baseline, tolerance=args.tolerance)
-    if gate.passed:
-        logger.info("bench gate PASSED (%d checks)", gate.checked)
+    failures = list(gate.failures)
+    checked = gate.checked
+    if store_results is not None:
+        store_baseline = load_baseline(args.store_baseline)
+        if store_baseline is None:
+            logger.warning(
+                "no usable store baseline at %s; gating on ratio floors only",
+                args.store_baseline,
+            )
+        store_gate = check_gate(
+            store_results,
+            store_baseline,
+            tolerance=args.tolerance,
+            floors=STORE_FLOORS,
+            throughput_keys=STORE_THROUGHPUT_KEYS,
+        )
+        failures.extend(store_gate.failures)
+        checked += store_gate.checked
+    if not failures:
+        logger.info("bench gate PASSED (%d checks)", checked)
         return 0
-    for failure in gate.failures:
+    for failure in failures:
         logger.error("bench gate: %s", failure)
-    logger.error(
-        "bench gate FAILED (%d of %d checks)", len(gate.failures), gate.checked
-    )
+    logger.error("bench gate FAILED (%d of %d checks)", len(failures), checked)
     return 1

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 SCHEMA = "repro.bench/1"
 
@@ -67,8 +67,13 @@ def check_gate(
     baseline: Optional[dict] = None,
     tolerance: float = DEFAULT_TOLERANCE,
     floors: Optional[Dict[str, float]] = None,
+    throughput_keys: Optional[Sequence[str]] = None,
 ) -> GateResult:
-    """Evaluate floors (always) and the baseline band (when given)."""
+    """Evaluate floors (always) and the baseline band (when given).
+
+    ``floors`` and ``throughput_keys`` default to the hot-path set; the
+    store suite passes its own (see :mod:`repro.bench.store`).
+    """
     failures: List[str] = []
     checked = 0
     effective_floors = dict(DEFAULT_FLOORS if floors is None else floors)
@@ -86,7 +91,7 @@ def check_gate(
 
     if baseline is not None:
         base_results = baseline.get("results", {})
-        for key in THROUGHPUT_KEYS:
+        for key in THROUGHPUT_KEYS if throughput_keys is None else throughput_keys:
             base = base_results.get(key)
             value = results.get(key)
             if not isinstance(base, (int, float)) or base <= 0:
@@ -103,11 +108,19 @@ def check_gate(
     return GateResult(passed=not failures, failures=failures, checked=checked)
 
 
-def make_report(results: Dict[str, object], quick: bool) -> dict:
-    """Wrap bench results in the versioned report envelope."""
+def make_report(
+    results: Dict[str, object],
+    quick: bool,
+    floors: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Wrap bench results in the versioned report envelope.
+
+    The stamped floors travel with the baseline, so a gate run against
+    an old report enforces the floors that report was produced under.
+    """
     return {
         "schema": SCHEMA,
         "quick": quick,
         "results": results,
-        "floors": dict(DEFAULT_FLOORS),
+        "floors": dict(DEFAULT_FLOORS if floors is None else floors),
     }

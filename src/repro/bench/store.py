@@ -1,0 +1,193 @@
+"""Durable-store microbenches: append overhead, commit, recovery, scan.
+
+Four measurements, one per store code path that sits on a hot loop:
+
+* **Append overhead** (``store_insert_append_ratio``) — insert
+  throughput with a durable store attached vs a bare ring, with group
+  commit and sealing deferred so only the per-insert hook cost is in
+  frame (the WAL's design puts encoding and I/O on the amortized flush
+  path; see :mod:`repro.store.wal`).  Interleaved best-of-N sampling,
+  same as the T1 bench: scheduler jitter hits both variants alike and
+  ``max`` discards it.  Measured ratio is ~0.87 (observed 0.81–0.93 on
+  a noisy shared machine) — the hooks cost about 1.4 µs on a ~10 µs
+  insert: two bound-method calls, one pending-list append, one tuple,
+  one clock read for the flush-interval check.  The floor sits at 0.75,
+  under the observed spread but far above what moving encoding or I/O
+  back onto this path would leave (inline encode alone halves the
+  ratio).  The gap to the <5 % aspiration is the Python method-dispatch
+  tax, not I/O: group commit keeps encoding and writes off this path
+  entirely.
+* **Group commit** (``store_wal_commit_rows_per_sec``) — the realistic
+  write path: appends through the WAL with a production group size, so
+  periodic encode+write+flush is amortized in.
+* **Recovery** (``store_recover_rows_per_sec``) — rebuild ring + archive
+  from manifest, segments and WAL tail, measured over the rows
+  materialized into the recovered database.
+* **Archive scan** (``store_archive_scan_rows_per_sec``) — tier-spanning
+  read throughput over sealed segments plus the pending spill buffer.
+
+Ratio floors are machine-independent; the throughput numbers gate with
+the generous baseline band (see :mod:`repro.bench.gate`) against the
+committed ``BENCH_STORE.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from typing import Callable, Dict, Optional
+
+from ..core.clock import SimulatedClock
+from ..hwdb.database import HomeworkDatabase
+from ..store import DurableStore, recover_store
+
+#: Ratio floors for the store suite (see module docstring for why 0.75).
+STORE_FLOORS: Dict[str, float] = {
+    "store_insert_append_ratio": 0.75,
+}
+
+#: Store throughputs the baseline tolerance band applies to.
+STORE_THROUGHPUT_KEYS = (
+    "store_wal_commit_rows_per_sec",
+    "store_recover_rows_per_sec",
+    "store_archive_scan_rows_per_sec",
+)
+
+SCHEMA = [
+    ("src_ip", "ipaddr"),
+    ("dst_ip", "ipaddr"),
+    ("proto", "integer"),
+    ("src_port", "integer"),
+    ("dst_port", "integer"),
+    ("src_mac", "macaddr"),
+    ("packets", "integer"),
+    ("bytes", "integer"),
+]
+
+ROW = ("10.2.0.6", "31.13.72.36", 6, 50000, 443, "02:aa:00:00:00:01", 10, 4096)
+
+#: A config that never flushes or seals on its own: isolates the
+#: per-insert hook cost for the append-ratio measurement.
+_DEFERRED = dict(flush_interval=1e9, group_records=10**9, segment_rows=10**9)
+
+
+def _make_db(capacity: int = 4096):
+    clock = SimulatedClock()
+    db = HomeworkDatabase(clock)
+    db.create_table("flows", SCHEMA, capacity)
+    return clock, db
+
+
+def run_store(
+    quick: bool = False,
+    timer: Optional[Callable[[], float]] = None,
+) -> Dict[str, object]:
+    """Run the store suite; returns a flat results dict (plus detail).
+
+    ``timer`` overrides ``time.perf_counter`` (tests inject a jumping
+    clock to trip the gate deterministically).
+    """
+    now = time.perf_counter if timer is None else timer
+    batch = 2_000 if quick else 5_000
+    rounds = 3 if quick else 8
+    commit_rows = 10_000 if quick else 40_000
+    # Recover/scan throughput depends on the image shape (rows per
+    # segment materialized per unit work), so quick and full build the
+    # *same* image — only repetition counts differ.  Keeps a --quick CI
+    # run comparable against the committed full-run baseline.
+    archive_rows = 8_000
+    scan_reps = 3 if quick else 10
+
+    results: Dict[str, object] = {}
+
+    # -- append-path ratio: bare ring vs deferred-flush store ----------
+    bare_clock, bare_db = _make_db()
+    stored_clock, stored_db = _make_db()
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    store = DurableStore(root, stored_clock, **_DEFERRED)
+    store.attach(stored_db)
+
+    def sample(clock, db) -> float:
+        start = now()
+        for _ in range(batch):
+            clock.advance(0.0001)
+            db.insert("flows", ROW)
+        return batch / max(now() - start, 1e-9)
+
+    sample(bare_clock, bare_db)  # warm-up both sides
+    sample(stored_clock, stored_db)
+    bare = stored = 0.0
+    for _ in range(rounds):
+        bare = max(bare, sample(bare_clock, bare_db))
+        stored = max(stored, sample(stored_clock, stored_db))
+    store.close()
+    shutil.rmtree(root, ignore_errors=True)
+    results["store_insert_bare_per_sec"] = bare
+    results["store_insert_stored_per_sec"] = stored
+    results["store_insert_append_ratio"] = stored / bare if bare else 0.0
+
+    # -- group commit: the realistic WAL write path --------------------
+    clock, db = _make_db()
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    store = DurableStore(
+        root, clock, flush_interval=1e9, group_records=256, segment_rows=10**9
+    )
+    store.attach(db)
+    wal = store.wal
+    start = now()
+    for seq in range(commit_rows):
+        wal.append("flows", seq + 1, seq * 1e-4, ROW)
+    wal.flush()
+    elapsed = max(now() - start, 1e-9)
+    results["store_wal_commit_rows_per_sec"] = commit_rows / elapsed
+    store.close()
+    shutil.rmtree(root, ignore_errors=True)
+
+    # -- populate one store for the recovery and scan benches ----------
+    # Small ring so most rows evict into segments; small segments so the
+    # scan crosses many manifest entries.
+    clock, db = _make_db(capacity=256)
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    store = DurableStore(
+        root, clock, flush_interval=1e9, group_records=512, segment_rows=512
+    )
+    store.attach(db)
+    for _ in range(archive_rows):
+        clock.advance(0.0001)
+        db.insert("flows", ROW)
+    store.flush()
+    segments = len(store.tier("flows").segments)
+    store.close()
+
+    scratch = HomeworkDatabase(SimulatedClock())
+    start = now()
+    recovered = recover_store(root, scratch)
+    elapsed = max(now() - start, 1e-9)
+    audit = recovered.tables["flows"]
+    rebuilt = audit["ring_rows"] + audit["pending_rows"] + audit["sealed_rows"]
+    results["store_recover_rows_per_sec"] = rebuilt / elapsed
+
+    tier = recovered.store.tier("flows")
+    best = 0.0
+    scanned = 0
+    for _ in range(scan_reps):
+        start = now()
+        rows, info = tier.scan_since(0.0)
+        elapsed = max(now() - start, 1e-9)
+        best = max(best, len(rows) / elapsed)
+        scanned = len(rows)
+    results["store_archive_scan_rows_per_sec"] = best
+    recovered.store.close()
+    shutil.rmtree(root, ignore_errors=True)
+
+    results["detail"] = {
+        "append": {"batch": batch, "rounds": rounds},
+        "commit": {"rows": commit_rows, "group_records": 256},
+        "recover": {"rows_rebuilt": rebuilt, "segments": segments},
+        "scan": {"rows": scanned, "reps": scan_reps},
+    }
+    return results
+
+
+__all__ = ["STORE_FLOORS", "STORE_THROUGHPUT_KEYS", "run_store"]

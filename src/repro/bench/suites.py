@@ -26,6 +26,7 @@ SUITES: Dict[str, Dict[str, object]] = {
     "t4_dns": {"quick": {"lookups": 20, "checks": 1_000}},
     "t5_query": {"quick": {"rounds": 1, "ticks": 50}},
     "e1_nat": {"quick": {"flows": 20, "bind_reps": 1_500}},
+    "store": {"quick": {"quick": True}},
 }
 
 

@@ -85,11 +85,14 @@ def fuzz_corpus(
     repro_dir: Path,
     hash_only: bool = False,
     shrink_budget: Optional[int] = None,
+    durable_store: bool = False,
 ) -> int:
     failures = 0
     for offset in range(scenarios):
         seed = base_seed + offset
-        scenario = generate_scenario(seed, max_ops=max_ops, duration=duration)
+        scenario = generate_scenario(
+            seed, max_ops=max_ops, duration=duration, durable_store=durable_store
+        )
         result = ScenarioRunner(scenario).run()
         if hash_only:
             say("seed=%d hash=%s", seed, result.trace_hash)
@@ -172,6 +175,12 @@ def main(argv=None) -> int:
         help="max scenario re-runs spent shrinking each failure",
     )
     parser.add_argument(
+        "--durable-store",
+        action="store_true",
+        help="give every household a durable hwdb tier and mix in "
+        "hwdb_crash ops (simulated power cuts, torn WAL tails)",
+    )
+    parser.add_argument(
         "--cql-queries",
         type=int,
         default=None,
@@ -199,6 +208,7 @@ def main(argv=None) -> int:
         args.repro_dir,
         hash_only=args.hash_only,
         shrink_budget=args.shrink_budget,
+        durable_store=args.durable_store,
     )
 
 

@@ -12,16 +12,56 @@ everything else.
 Channel flaps and time warps need no model class — the runner drives
 ``SecureChannel.disconnect``/``reconnect`` and ``Simulator.run_until``
 directly.
+
+:func:`inject_torn_tail` is the storage fault model: it mangles the tail
+of a write-ahead log copy the way a power cut mid-``write(2)`` would —
+either by chopping bytes off the end (a short final frame) or by
+flipping one byte inside the last frame (a CRC mismatch).  Recovery must
+treat both as "the tail never happened", never as an error.
 """
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.simulator import Simulator
 
 NORMAL: Tuple[float, ...] = (0.0,)
+
+#: Torn-tail modes understood by :func:`inject_torn_tail`.
+TORN_MODES = ("truncate", "corrupt")
+
+
+def inject_torn_tail(path: str, mode: str = "truncate", amount: int = 1) -> bool:
+    """Simulate a torn final write on a log file, in place.
+
+    ``truncate`` chops ``amount`` bytes off the end; ``corrupt`` XORs the
+    byte ``amount`` positions from the end (so the frame's CRC check
+    fails).  Returns False without touching the file when it is too
+    short to mangle meaningfully — the caller treats that as "no fault
+    injected", not an error, because a freshly-rotated WAL may hold
+    nothing but its magic header.
+    """
+    if mode not in TORN_MODES:
+        raise ValueError(f"unknown torn-tail mode {mode!r}")
+    amount = max(1, int(amount))
+    size = os.path.getsize(path)
+    # Never touch the 6-byte magic header: a mangled header is a missing
+    # database, not a torn write.
+    if size - amount <= 6:
+        return False
+    if mode == "truncate":
+        with open(path, "r+b") as handle:
+            handle.truncate(size - amount)
+        return True
+    with open(path, "r+b") as handle:
+        handle.seek(size - amount)
+        original = handle.read(1)
+        handle.seek(size - amount)
+        handle.write(bytes((original[0] ^ 0xFF,)))
+    return True
 
 
 class LinkFault:

@@ -300,6 +300,32 @@ def check_hwdb_ring_bounded(router: "HomeworkRouter", ctx: CheckContext) -> Opti
     return None
 
 
+def check_store_archive_agree(router: "HomeworkRouter", ctx: CheckContext) -> Optional[str]:
+    """Ring and archive agree on where every evicted row went.
+
+    Every row that ever fell off a durable table's ring is accounted for
+    exactly once: sealed into a segment, pending in the WAL tier,
+    discarded by ``clear()``, or expired by compaction.  A mismatch
+    means rows were double-archived or silently dropped.
+    """
+    store = getattr(router, "store", None)
+    if store is None:
+        return None
+    for name, tier in sorted(store.tiers.items()):
+        table = router.db.table(name)
+        accounted = (
+            tier.sealed_rows + len(tier.pending) + tier.discarded + tier.expired_rows
+        )
+        if accounted != table.overwritten:
+            return (
+                f"durable tier for {name!r} accounts for {accounted} evicted "
+                f"rows (sealed={tier.sealed_rows} pending={len(tier.pending)} "
+                f"discarded={tier.discarded} expired={tier.expired_rows}) but "
+                f"the ring overwrote {table.overwritten}"
+            )
+    return None
+
+
 def check_clock_monotonic(router: "HomeworkRouter", ctx: CheckContext) -> Optional[str]:
     """Simulated time and the event counter only move forward."""
     now = router.sim.now
@@ -328,6 +354,7 @@ INVARIANTS: Tuple[Tuple[str, Checker], ...] = (
     ("hwdb-leases-agree", check_hwdb_leases_agree),
     ("hwdb-flows-known", check_hwdb_flows_known),
     ("hwdb-ring-bounded", check_hwdb_ring_bounded),
+    ("store-archive-agree", check_store_archive_agree),
     ("metrics-monotonic", check_metrics_monotonic),
 )
 

@@ -67,6 +67,7 @@ OP_KINDS = (
     "channel_down",
     "time_warp",
     "hwdb_pressure",
+    "hwdb_crash",
     "corrupt_flows",
 )
 
@@ -207,8 +208,16 @@ def generate_scenario(
     max_ops: int = 40,
     duration: float = 300.0,
     lease_time: Optional[float] = None,
+    durable_store: bool = False,
 ) -> Scenario:
-    """A random household day, fully determined by ``seed``."""
+    """A random household day, fully determined by ``seed``.
+
+    ``durable_store`` gives the household a durable hwdb tier and mixes
+    in ``hwdb_crash`` ops (simulated power cuts with optional torn WAL
+    tails).  All store-related randomness comes from a rng *derived*
+    from the seed, so the scenario a plain ``generate_scenario(seed)``
+    produces is byte-identical whether or not this feature exists.
+    """
     rng = random.Random(seed)
     state = _GenState()
     ops: List[Op] = []
@@ -349,4 +358,30 @@ def generate_scenario(
         elif kind == "hwdb_pressure":
             emit(kind, {"rows": rng.randrange(50, 400)}, gap)
 
+    if durable_store:
+        _add_durable_store(seed, config, ops, t)
+
     return Scenario(seed=seed, config=config, ops=ops, duration=max(duration, t + 30.0))
+
+
+def _add_durable_store(
+    seed: int, config: Dict[str, object], ops: List[Op], end_t: float
+) -> None:
+    """Graft store config + crash ops onto a generated scenario.
+
+    Uses its own rng (derived from the seed, a disjoint stream from the
+    main generator's) so enabling the store never perturbs the base
+    scenario other seeds — and regression corpora — depend on.
+    """
+    store_rng = random.Random((seed << 16) ^ 0x5708E)
+    config["durable_store"] = True
+    config["store_segment_rows"] = store_rng.choice((32, 64, 128))
+    config["store_group_records"] = store_rng.choice((8, 32, 64))
+    for _ in range(store_rng.choice((1, 2))):
+        args: Dict[str, object] = {}
+        if store_rng.random() < 0.5:
+            args["torn"] = store_rng.choice(("truncate", "corrupt"))
+            args["amount"] = store_rng.randrange(1, 48)
+        # Crashes land in the back half of the day, when rings have
+        # wrapped and segments exist — the interesting recovery regime.
+        ops.append(Op(round(store_rng.uniform(end_t * 0.5, end_t), 6), "hwdb_crash", args))

@@ -34,6 +34,12 @@ class RouterConfig:
         nat_enabled: bool = False,
         nat_idle_timeout: float = 300.0,
         metrics_flush_interval: float = 5.0,
+        durable_store: bool = False,
+        store_dir: Optional[str] = None,
+        store_flush_interval: float = 0.25,
+        store_group_records: int = 64,
+        store_segment_rows: int = 256,
+        store_fsync: bool = False,
     ):
         self.subnet = subnet if isinstance(subnet, IPv4Network) else IPv4Network(subnet)
         if self.subnet.prefixlen > 24 and isolate_devices:
@@ -77,6 +83,18 @@ class RouterConfig:
         if metrics_flush_interval <= 0:
             raise ConfigError("metrics_flush_interval must be positive")
         self.metrics_flush_interval = float(metrics_flush_interval)
+        self.durable_store = bool(durable_store)
+        self.store_dir = str(store_dir) if store_dir is not None else None
+        if store_flush_interval <= 0:
+            raise ConfigError("store_flush_interval must be positive")
+        self.store_flush_interval = float(store_flush_interval)
+        if store_group_records <= 0:
+            raise ConfigError("store_group_records must be positive")
+        self.store_group_records = int(store_group_records)
+        if store_segment_rows <= 0:
+            raise ConfigError("store_segment_rows must be positive")
+        self.store_segment_rows = int(store_segment_rows)
+        self.store_fsync = bool(store_fsync)
 
     def __repr__(self) -> str:
         return (

@@ -37,6 +37,10 @@ class ServiceError(ReproError):
     """Raised by router services (DHCP, DNS proxy, control API)."""
 
 
+class StoreError(ReproError):
+    """Raised by the durable storage tier (WAL, segments, recovery)."""
+
+
 class FleetError(ReproError):
     """Fleet orchestration failure: bad checkpoint, divergent restore."""
 

@@ -20,6 +20,7 @@ Typical use::
 from __future__ import annotations
 
 import logging
+import tempfile
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..hwdb.database import HomeworkDatabase
@@ -45,6 +46,7 @@ from ..sim.link import Link, WirelessLink
 from ..sim.simulator import Simulator
 from ..sim.upstream import InternetCloud
 from ..sim.wireless import RadioEnvironment
+from ..store import DurableStore
 from .config import RouterConfig
 from .errors import ConfigError
 
@@ -95,6 +97,28 @@ class HomeworkRouter:
         )
         install_standard_schema(self.db)
         self.db.attach_scheduler(sim)
+        # Optional durable tier under the rings.  Attached before the
+        # query engine exists, so the engine's first compile already
+        # sees the spill hooks and routes around incremental mode.
+        self.store: Optional[DurableStore] = None
+        self._store_tmp: Optional[tempfile.TemporaryDirectory] = None
+        self._store_flush_timer = None
+        if self.config.durable_store:
+            if self.config.store_dir is None:
+                self._store_tmp = tempfile.TemporaryDirectory(prefix="repro-store-")
+                store_root = self._store_tmp.name
+            else:
+                store_root = self.config.store_dir
+            self.store = DurableStore(
+                store_root,
+                sim.clock,
+                flush_interval=self.config.store_flush_interval,
+                group_records=self.config.store_group_records,
+                segment_rows=self.config.store_segment_rows,
+                fsync=self.config.store_fsync,
+                registry=self.metrics,
+            )
+            self.store.attach(self.db)
         # The continuous-query engine self-attaches to the database:
         # every SELECT (ad-hoc, RPC, subscription) now routes through
         # its plan cache and incremental maintenance.
@@ -225,6 +249,13 @@ class HomeworkRouter:
         self.link_collector.start()
         self.metrics_flusher.start(self.sim)
         self.policy_engine.start_scheduler(self.sim, interval=30.0)
+        if self.store is not None:
+            # Group commit needs a heartbeat: appends only check the
+            # clock when they happen, so an idle table's tail would sit
+            # unflushed forever without this.
+            self._store_flush_timer = self.sim.schedule_periodic(
+                self.config.store_flush_interval, self.store.flush
+            )
 
     def stop(self) -> None:
         if not self._started:
@@ -234,6 +265,11 @@ class HomeworkRouter:
         self.link_collector.stop()
         self.metrics_flusher.stop()
         self.policy_engine.stop_scheduler()
+        if self._store_flush_timer is not None:
+            self._store_flush_timer.cancel()
+            self._store_flush_timer = None
+        if self.store is not None:
+            self.store.flush()
 
     # ------------------------------------------------------------------
     # Telemetry

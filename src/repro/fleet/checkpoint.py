@@ -49,9 +49,16 @@ def snapshot_runner_state(runner: ScenarioRunner) -> Dict[str, Any]:
     """Serialize every router state surface a resume must reproduce."""
     router = runner.router
     nat = router.router_core.nat
+    store = getattr(router, "store", None)
     return {
-        "hwdb": snapshot_database(router.db, exclude_tables=("metrics",)),
+        "hwdb": snapshot_database(
+            router.db, exclude_tables=("metrics",), store=store
+        ),
         "hwdb_digests": database_digests(router.db),
+        # Segment ids + content digests, never payloads: a replayed
+        # household rebuilds the identical archive, and the digests
+        # prove it without reading a segment back.
+        "store": None if store is None else store.manifest_summary(),
         "leases": router.dhcp.leases.to_snapshot(),
         "nat": None if nat is None else nat.to_snapshot(),
         "policies": router.policy_engine.to_snapshot(),
@@ -121,6 +128,10 @@ def _verify_restored(runner: ScenarioRunner, payload: Dict[str, Any]) -> None:
     live_digests = database_digests(runner.router.db)
     if live_digests != state["hwdb_digests"]:
         raise FleetError("resume diverged: hwdb table digests differ")
+    live_store = getattr(runner.router, "store", None)
+    live_summary = None if live_store is None else live_store.manifest_summary()
+    if live_summary != state.get("store"):
+        raise FleetError("resume diverged: durable store manifest differs")
     # Exercise the snapshot→restore path itself: the serialized database
     # must rebuild to the same digests the live one shows.
     scratch = HomeworkDatabase(SimulatedClock())

@@ -111,19 +111,48 @@ def _column_value(table: StreamTable, row: Row, name: str) -> Any:
 
 def apply_window(table: StreamTable, ref: TableRef, now: float) -> List[Row]:
     """Materialise the windowed view of ``table`` at time ``now``."""
+    return apply_window_ex(table, ref, now)[0]
+
+
+def apply_window_ex(table: StreamTable, ref: TableRef, now: float):
+    """:func:`apply_window` plus the archive-scan audit, as a pair.
+
+    When the table carries a durable tier (the duck-typed
+    ``table.archive`` attribute set by ``repro.store``) and the window
+    reaches past what the ring retains, the scan transparently extends
+    over archived rows: archive rows come first (their seqs all precede
+    the ring's), so the concatenation stays in timestamp order and has
+    no duplicates.  The second element reports what the archive scan
+    touched (segments pruned/opened) — ``None`` for ring-only windows
+    ([NOW], [ROWS n]) or when the ring already covers the window.
+    """
     window = ref.window
-    if window.kind == W_ALL:
-        return list(table.rows())
     if window.kind == W_NOW:
         newest = table.newest()
-        return [newest] if newest is not None else []
-    if window.kind == W_RANGE:
-        return list(table.rows_since(now - window.value))
+        return ([newest] if newest is not None else []), None
     if window.kind == W_ROWS:
-        return table.last_rows(int(window.value))
-    if window.kind == W_SINCE:
-        return list(table.rows_since(window.value))
-    raise QueryError(f"unsupported window kind {window.kind!r}")
+        return table.last_rows(int(window.value)), None
+    archive = getattr(table, "archive", None)
+    if window.kind == W_ALL:
+        rows = list(table.rows())
+        if archive is not None and table.overwritten > 0:
+            archived, info = archive.scan_since(float("-inf"))
+            return archived + rows, info
+        return rows, None
+    if window.kind == W_RANGE:
+        start = now - window.value
+    elif window.kind == W_SINCE:
+        start = window.value
+    else:
+        raise QueryError(f"unsupported window kind {window.kind!r}")
+    if archive is not None and table.overwritten > 0:
+        oldest = table.oldest()
+        if oldest is None or start <= oldest.timestamp:
+            # The window starts at or before the ring's oldest row:
+            # history past the ring may qualify, so consult the archive.
+            archived, info = archive.scan_since(start)
+            return archived + list(table.rows_since(start)), info
+    return list(table.rows_since(start)), None
 
 
 # ----------------------------------------------------------------------

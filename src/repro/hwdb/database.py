@@ -116,6 +116,7 @@ class HomeworkDatabase:
         self._subscriptions: Dict[int, Subscription] = {}
         self._scheduler = None  # set via attach_scheduler
         self._engine = None  # set via set_query_engine
+        self._store = None  # set via set_store
         self.queries_executed = 0
         self.inserts = 0
         self.set_registry(registry)
@@ -149,6 +150,19 @@ class HomeworkDatabase:
         """
         self._engine = engine
 
+    def set_store(self, store) -> None:
+        """Attach a durable storage tier (duck-typed, like the query
+        engine: hwdb never imports :mod:`repro.store`).
+
+        The store is notified of table creation/drops so every ring
+        gets its ``spill``/``archive`` hooks.  Attaching invalidates the
+        query engine's plan cache — compiled plans capture whether a
+        table's history extends past the ring.
+        """
+        self._store = store
+        if self._engine is not None:
+            self._engine.invalidate()
+
     @property
     def now(self) -> float:
         return self._clock.now()
@@ -178,6 +192,8 @@ class HomeworkDatabase:
         cols = [Column(cname, type_by_name(tname)) for cname, tname in columns]
         table = StreamTable(key, cols, capacity or self.default_capacity)
         self._tables[key] = table
+        if self._store is not None:
+            self._store.on_create_table(table)
         if self._engine is not None:
             self._engine.invalidate()
         return table
@@ -186,6 +202,8 @@ class HomeworkDatabase:
         if name.lower() not in self._tables:
             raise HwdbError(f"no such table {name!r}")
         del self._tables[name.lower()]
+        if self._store is not None:
+            self._store.on_drop_table(name.lower())
         if self._engine is not None:
             self._engine.invalidate()
 

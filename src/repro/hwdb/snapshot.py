@@ -81,16 +81,21 @@ def snapshot_subscription(subscription: Subscription) -> Dict[str, Any]:
 
 
 def snapshot_database(
-    db: HomeworkDatabase, exclude_tables: tuple = ()
+    db: HomeworkDatabase, exclude_tables: tuple = (), store=None
 ) -> Dict[str, Any]:
     """Serialize a whole database (tables + subscriptions + counters).
 
     ``exclude_tables`` names tables to leave out — fleet checkpoints drop
     ``metrics`` because its rows carry wall-clock latencies that can
     never replay bit-identically.
+
+    ``store`` (duck-typed: anything with ``manifest_summary()``) adds a
+    ``"store"`` key describing the database's durable tier — segment ids
+    and digests, never row payloads.  Restore ignores unknown keys, so
+    snapshots stay loadable without a store.
     """
     excluded = {name.lower() for name in exclude_tables}
-    return {
+    snap = {
         "format": FORMAT,
         "default_capacity": db.default_capacity,
         "queries_executed": db.queries_executed,
@@ -106,6 +111,9 @@ def snapshot_database(
             if sub.active
         ],
     }
+    if store is not None:
+        snap["store"] = store.manifest_summary()
+    return snap
 
 
 # SimulationError from re-arming subscription timers is unreachable:
@@ -129,6 +137,13 @@ def restore_database(  # repro: ignore[deep-except-escape]
             f"unsupported hwdb snapshot format {snap.get('format')!r} "
             f"(expected {FORMAT!r})"
         )
+    # The durable tier is rebuilt from its own directory (repro.store's
+    # recover_store), never from the snapshot — the "store" key is audit
+    # metadata (segment ids + digests). Validate its shape so a mangled
+    # checkpoint fails at load, not when someone later reads the audit.
+    store_snap = snap.get("store")
+    if store_snap is not None and "tables" not in store_snap:
+        raise HwdbError("malformed durable-store summary in snapshot")
     db.default_capacity = int(snap.get("default_capacity", db.default_capacity))
     for table_snap in snap["tables"]:
         restore_table(db, table_snap)

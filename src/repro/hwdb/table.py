@@ -61,6 +61,11 @@ class StreamTable:
         self._count = 0  # rows currently stored (<= capacity)
         self.total_inserted = 0
         self.last_timestamp = float("-inf")
+        #: Duck-typed durable-tier hooks (set by repro.store, never by
+        #: hwdb itself): ``spill`` receives on_append/on_evict/on_clear,
+        #: ``archive`` serves scan_since for tier-spanning windows.
+        self.spill = None
+        self.archive = None
 
     # ------------------------------------------------------------------
     # Schema
@@ -98,11 +103,20 @@ class StreamTable:
         timestamp = max(float(timestamp), self.last_timestamp)
         self.last_timestamp = timestamp
         row = Row(timestamp, coerced)
+        spill = self.spill
+        if spill is not None and self._count == self.capacity:
+            evicted = self._buffer[self._head]
+            if evicted is not None:
+                # The slot's occupant leaves the ring right now; its seq
+                # is total_inserted - capacity + 1 (pre-increment).
+                spill.on_evict(self, self.total_inserted - self.capacity + 1, evicted)
         self._buffer[self._head] = row
         self._head = (self._head + 1) % self.capacity
         if self._count < self.capacity:
             self._count += 1
         self.total_inserted += 1
+        if spill is not None:
+            spill.on_append(self, self.total_inserted, row)
         return row
 
     def insert_dict(self, timestamp: float, record: Dict[str, Any]) -> Row:
@@ -116,6 +130,10 @@ class StreamTable:
         return self.insert(timestamp, values)
 
     def clear(self) -> None:
+        if self.spill is not None:
+            # Fired before the reset so the tier can see what the ring
+            # is about to discard (rows never evicted are lost for good).
+            self.spill.on_clear(self)
         self._buffer = [None] * self.capacity
         self._head = 0
         self._count = 0

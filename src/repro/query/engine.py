@@ -101,6 +101,24 @@ class QueryEngine:
             plan = compile_select(select, tables)
         except PlanNotSupported as exc:
             return _CacheEntry(None, None, MODE_LEGACY, str(exc))
+        archived = sorted(
+            {
+                node.ref.table
+                for _depth, node in plan.nodes
+                if node.kind == "scan"
+                and getattr(tables.get(node.ref.table), "spill", None) is not None
+            }
+        )
+        if archived:
+            # Incremental delta maintenance is keyed on ring eviction
+            # (seqs <= overwritten are gone); a durable archive makes
+            # those rows reachable again, so full re-execution it is.
+            return _CacheEntry(
+                plan,
+                None,
+                MODE_PLAN,
+                f"durable archive on {', '.join(archived)}: incremental tier is ring-only",
+            )
         try:
             state = build_incremental(plan)
         except NotIncremental as exc:

@@ -50,7 +50,7 @@ from ..hwdb.cql.executor import (
     Binding,
     Evaluator,
     ResultSet,
-    apply_window,
+    apply_window_ex,
     group_bindings,
     has_aggregate,
     order_rows,
@@ -165,6 +165,7 @@ class ScanOp(PlanNode):
         self.predicate = predicate
         self.predicate_key = predicate_key
         self.needed = needed
+        self.last_archive = None  # ArchiveScanInfo from the latest run
 
     def describe(self) -> str:
         text = f"Scan {self.ref.table}{_window_text(self.ref.window)}"
@@ -174,6 +175,12 @@ class ScanOp(PlanNode):
             text += f" filter=({unparse_expr(self.predicate)})"
         if self.needed:
             text += f" columns=[{', '.join(self.needed)}]"
+        info = self.last_archive
+        if info is not None:
+            text += (
+                f" archive[segments={info.segments_scanned}/{info.segments_total}"
+                f" pruned={info.segments_pruned} rows={info.rows}]"
+            )
         return text
 
     def run(self, ctx: ExecContext) -> List[Binding]:
@@ -194,7 +201,7 @@ class ScanOp(PlanNode):
             if shared is not None:
                 alias = self.ref.alias
                 return [Binding({alias: (table, row)}) for row in shared]
-        rows = apply_window(table, self.ref, ctx.now)
+        rows, self.last_archive = apply_window_ex(table, self.ref, ctx.now)
         alias = self.ref.alias
         bindings = [Binding({alias: (table, row)}) for row in rows]
         if self.predicate is not None:

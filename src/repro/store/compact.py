@@ -1,0 +1,157 @@
+"""Segment compaction: expire old history, merge undersized segments.
+
+Retention is the knob that makes an unbounded archive safe on a home
+router's flash: a :class:`RetentionPolicy` caps history by age, by
+segment count, or by total archived rows.  Expiry always removes the
+*oldest* segments whole — the archive stays a contiguous suffix of each
+table's history, which keeps the recovery arithmetic (and the agreement
+invariant's ``expired_rows`` term) closed.
+
+Merging is the opposite pressure: forced seals (``clear()``, shutdown)
+produce runt segments; adjacent runts are folded into one file up to the
+store's ``segment_rows`` so the manifest and the scan fan-out stay
+small.  Merged files are rewritten under a fresh segment id and the old
+files deleted only after the manifest no longer references them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import StoreError
+from .archive import SEGMENT_DIR, DurableStore, TableTier
+from .segment import SegmentInfo, segment_file_name, write_segment
+
+
+class RetentionPolicy:
+    """Limits applied per table; ``None`` means unlimited."""
+
+    __slots__ = ("max_age", "max_segments", "max_rows")
+
+    def __init__(
+        self,
+        max_age: Optional[float] = None,
+        max_segments: Optional[int] = None,
+        max_rows: Optional[int] = None,
+    ):
+        if max_age is not None and max_age <= 0:
+            raise StoreError(f"max_age must be positive, got {max_age}")
+        if max_segments is not None and max_segments < 0:
+            raise StoreError(f"max_segments must be >= 0, got {max_segments}")
+        if max_rows is not None and max_rows < 0:
+            raise StoreError(f"max_rows must be >= 0, got {max_rows}")
+        self.max_age = max_age
+        self.max_segments = max_segments
+        self.max_rows = max_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"RetentionPolicy(max_age={self.max_age}, "
+            f"max_segments={self.max_segments}, max_rows={self.max_rows})"
+        )
+
+
+def _expire(store: DurableStore, tier: TableTier, policy: RetentionPolicy, now: float):
+    """Oldest-first expiry; returns the dropped SegmentInfos."""
+    dropped: List[SegmentInfo] = []
+    segments = tier.segments
+    while segments:
+        head = segments[0]
+        over_age = policy.max_age is not None and head.max_ts < now - policy.max_age
+        over_count = (
+            policy.max_segments is not None and len(segments) > policy.max_segments
+        )
+        over_rows = (
+            policy.max_rows is not None
+            and sum(s.rows for s in segments) > policy.max_rows
+        )
+        if not (over_age or over_count or over_rows):
+            break
+        dropped.append(segments.pop(0))
+        tier.expired_rows += head.rows
+    return dropped
+
+
+def _merge(store: DurableStore, tier: TableTier):
+    """Fold adjacent undersized segments; returns (new_list, dropped)."""
+    target = store.segment_rows
+    merged: List[SegmentInfo] = []
+    dropped: List[SegmentInfo] = []
+    run: List[SegmentInfo] = []
+    run_rows = 0
+
+    def flush_run():
+        nonlocal run, run_rows
+        if len(run) <= 1:
+            merged.extend(run)
+        else:
+            rows = []
+            for info in run:
+                rows.extend(store._segment_rows(info))
+            segment_id = tier.next_segment_id
+            tier.next_segment_id += 1
+            file_name = segment_file_name(tier.name, segment_id)
+            merged.append(
+                write_segment(
+                    store.root / SEGMENT_DIR / file_name,
+                    segment_id,
+                    tier.name,
+                    rows,
+                    fsync=store.fsync,
+                )
+            )
+            dropped.extend(run)
+        run = []
+        run_rows = 0
+
+    for info in tier.segments:
+        if info.rows >= target or run_rows + info.rows > target:
+            flush_run()
+        if info.rows >= target:
+            merged.append(info)
+        else:
+            run.append(info)
+            run_rows += info.rows
+    flush_run()
+    return merged, dropped
+
+
+def compact_store(
+    store: DurableStore,
+    policy: RetentionPolicy,
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Apply ``policy`` to every tier; returns a per-table report.
+
+    ``now`` anchors age expiry — pass the database's clock reading for
+    deterministic runs.  When omitted, each table's newest archived
+    ``max_ts`` is the anchor (pure retention by relative age).
+    """
+    report: Dict[str, Any] = {}
+    for name in sorted(store.tiers):
+        tier = store.tiers[name]
+        if not tier.segments:
+            continue
+        anchor = now if now is not None else tier.segments[-1].max_ts
+        expired = _expire(store, tier, policy, anchor)
+        merged_list, replaced = _merge(store, tier)
+        tier.segments = merged_list
+        store._write_manifest()
+        # Files go only after the manifest stopped referencing them.
+        for info in expired + replaced:
+            store._segment_cache.pop((tier.name, info.segment_id), None)
+            try:
+                (store.root / SEGMENT_DIR / info.file).unlink()
+            except OSError:  # repro: ignore[except-swallow]
+                pass
+        if expired or replaced:
+            report[name] = {
+                "expired_segments": len(expired),
+                "expired_rows": sum(s.rows for s in expired),
+                "merged_segments": len(replaced),
+                "segments_now": len(tier.segments),
+            }
+    return report
+
+
+__all__ = ["RetentionPolicy", "compact_store"]

@@ -1,0 +1,182 @@
+"""Crash recovery: rebuild ring + archive from WAL tail and manifest.
+
+The manifest is authoritative for schema and sealed segments; the WAL
+supplies every row that had not reached a segment.  Recovery is pure
+arithmetic over sequence numbers — for each table, with ``total`` the
+highest sequence number known anywhere (WAL rows, ``sealed_through``,
+``cleared_through``)::
+
+    floor         = max(total - capacity, cleared_through)
+    ring rows     = WAL seqs in (floor, total]
+    pending spill = WAL seqs in (max(sealed_through, cleared_through), floor]
+
+A torn WAL tail (truncated frame, bad CRC — :func:`~repro.store.wal
+.read_wal` stops at the last good record) only lowers ``total``: the
+recovered state is the consistent prefix as of the last group commit,
+never an exception.  After rebuilding, the WAL is rewritten from live
+state, so the torn tail is physically discarded and the store is
+immediately writable again.
+
+Determinism contract (the fuzzer's ``hwdb_crash`` op asserts it): if the
+store was flushed before the crash image was taken, the recovered
+database's :func:`repro.hwdb.snapshot.table_digest` equals the
+pre-crash digest for every archived table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.errors import StoreError
+from .archive import WAL_NAME, DurableStore
+from .segment import ArchivedRow
+from .wal import read_wal
+
+
+class RecoveredStore:
+    """Outcome of :func:`recover_store`: the live store plus an audit."""
+
+    __slots__ = ("store", "db", "torn", "note", "tables")
+
+    def __init__(
+        self,
+        store: DurableStore,
+        db,
+        torn: bool,
+        note: Optional[str],
+        tables: Dict[str, Dict[str, int]],
+    ):
+        self.store = store
+        self.db = db
+        self.torn = torn
+        self.note = note
+        self.tables = tables
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "torn": self.torn,
+            "note": self.note,
+            "tables": self.tables,
+        }
+
+    def __repr__(self) -> str:
+        return f"RecoveredStore(tables={sorted(self.tables)}, torn={self.torn})"
+
+
+def _verify_schema(table, name: str, columns: List[List[str]], capacity: int) -> None:
+    existing = [[c.name, c.ctype.name] for c in table.columns]
+    wanted = [[str(n), str(t)] for n, t in columns]
+    if existing != wanted:
+        raise StoreError(
+            f"table {name!r} schema mismatch: db has {existing}, manifest has {wanted}"
+        )
+    if table.capacity != capacity:
+        raise StoreError(
+            f"table {name!r} capacity mismatch: db has {table.capacity}, "
+            f"manifest has {capacity}"
+        )
+    if table.total_inserted:
+        raise StoreError(f"recovery target table {name!r} is not empty")
+
+
+def recover_store(
+    root: Union[str, Path],
+    db,
+    flush_interval: float = 0.25,
+    group_records: int = 64,
+    segment_rows: int = 256,
+    fsync: bool = False,
+    registry=None,
+) -> RecoveredStore:
+    """Rebuild ``db``'s archived tables from the store at ``root``.
+
+    ``db`` supplies the clock and receives the recovered tables (created
+    from the manifest schema if absent; verified against it if present —
+    present tables must be empty).  Returns the re-attached store, ready
+    for writes.
+    """
+    root = Path(root)
+    if not (root / "MANIFEST.json").exists() and not (root / WAL_NAME).exists():
+        raise StoreError(f"{root} does not look like a store directory")
+    store = DurableStore(
+        root,
+        db._clock,
+        flush_interval=flush_interval,
+        group_records=group_records,
+        segment_rows=segment_rows,
+        fsync=fsync,
+        registry=registry,
+    )
+    contents = read_wal(root / WAL_NAME)
+
+    report: Dict[str, Dict[str, int]] = {}
+    fixes: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(store._persisted):
+        entry = store._persisted[name]
+        columns = [list(c) for c in entry.get("columns", ())]
+        capacity = int(entry.get("capacity", 0))
+        if capacity <= 0:
+            raise StoreError(f"manifest entry for {name!r} has no capacity")
+        if db.has_table(name):
+            table = db.table(name)
+            _verify_schema(table, name, columns, capacity)
+        else:
+            table = db.create_table(name, [(c, t) for c, t in columns], capacity)
+
+        sealed_through = int(entry.get("sealed_through", 0))
+        manifest_cleared = int(entry.get("cleared_through", 0))
+        wal_cleared = contents.clears.get(name, 0)
+        cleared = max(manifest_cleared, wal_cleared)
+        discarded = int(entry.get("discarded", 0))
+        if wal_cleared > manifest_cleared:
+            # A clear hit the WAL but not the manifest.  The forced seal
+            # before the marker did reach the manifest, so every row
+            # between the evicted high-water mark and the marker was
+            # discarded from the ring un-archived.
+            discarded += wal_cleared - max(sealed_through, manifest_cleared)
+
+        wal_rows = contents.rows.get(name, {})
+        total = max([sealed_through, cleared] + list(wal_rows)) if wal_rows else max(
+            sealed_through, cleared
+        )
+        floor = max(total - capacity, cleared)
+        pending_floor = max(sealed_through, cleared)
+
+        for seq in sorted(s for s in wal_rows if floor < s <= total):
+            ts, values = wal_rows[seq]
+            table.insert(ts, values)
+        table.total_inserted = total
+        pending: List[ArchivedRow] = [
+            (seq, wal_rows[seq][0], list(wal_rows[seq][1]))
+            for seq in sorted(s for s in wal_rows if pending_floor < s <= floor)
+        ]
+        if len(table) == 0:
+            if pending:
+                table.last_timestamp = pending[-1][1]
+            elif entry.get("segments"):
+                table.last_timestamp = float(entry["segments"][-1]["max_ts"])
+
+        fixes[name] = {"pending": pending, "cleared": cleared, "discarded": discarded}
+        report[name] = {
+            "total": total,
+            "ring_rows": len(table),
+            "pending_rows": len(pending),
+            "sealed_rows": sum(int(s["rows"]) for s in entry.get("segments", ())),
+            "discarded": discarded,
+        }
+
+    store.attach(db)
+    for name, fix in fixes.items():
+        tier = store.tier(name)
+        tier.pending = fix["pending"]
+        tier.cleared_through = fix["cleared"]
+        tier.discarded = fix["discarded"]
+    # Rewriting from live state drops the torn tail and any stale rows;
+    # the store comes back exactly as compact as a clean shutdown's.
+    store._rewrite_wal()
+    store._write_manifest()
+    return RecoveredStore(store, db, contents.torn, contents.note, report)
+
+
+__all__ = ["RecoveredStore", "recover_store"]

@@ -1,0 +1,12 @@
+"""Fixture: raw durable writes outside the storage layer."""
+
+
+def export(path, rows):
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(f"{row}\n")
+    log = open(path, mode="ab")
+    log.write(b"done\n")
+    log.close()
+    with open(path, "x", encoding="utf-8") as fh:
+        fh.write("fresh")

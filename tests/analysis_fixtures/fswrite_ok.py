@@ -1,0 +1,17 @@
+"""Fixture: reads and in-place patching are not durable writes."""
+
+
+def inspect(path):
+    with open(path) as fh:
+        text = fh.read()
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    # In-place patching (the fuzzer's torn-tail injector does this
+    # deliberately) never creates or truncates a file.
+    with open(path, "r+b") as fh:
+        fh.seek(0)
+        fh.write(blob[:1])
+    mode = "w"
+    handle = open(path, mode)  # non-literal mode: convention check stays out
+    handle.close()
+    return text

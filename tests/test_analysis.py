@@ -83,6 +83,26 @@ class TestHygieneRules:
         assert findings(source, {"except-swallow", "print-call"}) == []
 
 
+class TestFileWriteRule:
+    def test_flags_create_truncate_append(self):
+        source = fixture("fswrite_bad.py", "repro.services.sample")
+        assert findings(source, {"fs-write"}) == [
+            ("fs-write", 5),   # open(path, "w")
+            ("fs-write", 8),   # open(path, mode="ab")
+            ("fs-write", 11),  # open(path, "x", ...)
+        ]
+
+    def test_reads_and_inplace_patching_are_clean(self):
+        source = fixture("fswrite_ok.py", "repro.services.sample")
+        assert findings(source, {"fs-write"}) == []
+
+    def test_storage_layer_is_exempt(self):
+        text = (FIXTURES / "fswrite_bad.py").read_text(encoding="utf-8")
+        for module in ("repro.store.wal", "repro.hwdb.persist", "repro.bench.cli"):
+            source = SourceFile(module, "fswrite_bad.py", text)
+            assert findings(source, {"fs-write"}) == []
+
+
 class TestMetricNameRule:
     def test_flags_bad_names_and_kind_conflicts(self):
         source = fixture("metrics_bad.py", "repro.services.sample")

@@ -255,6 +255,60 @@ class TestPersistence:
         assert records[0]["device"] == "tv"
         assert records[0]["_delivered_at"] == 3.0
 
+    def test_csv_sink_path_based(self, tmp_path):
+        out = tmp_path / "flows.csv"
+        sink = CsvSink(out)
+        sink(self._result())
+        sink.flush()
+        assert out.read_text().splitlines()[0] == "delivered_at,device,bytes"
+        sink.close()
+        # Closed sink reopens in append mode on the next delivery.
+        sink(self._result())
+        sink.close()
+        assert len(out.read_text().strip().splitlines()) == 5  # header + 4 rows
+
+    def test_csv_sink_rotation(self, tmp_path):
+        out = tmp_path / "flows.csv"
+        sink = CsvSink(out, max_bytes=80)
+        for _ in range(6):
+            sink(self._result())
+        sink.close()
+        assert sink.rotations >= 2
+        rotated = sorted(tmp_path.glob("flows.csv.*"))
+        assert len(rotated) == sink.rotations
+        # The live file is absent when the final delivery itself rotated.
+        files = rotated + ([out] if out.exists() else [])
+        # Every file re-announces the header, and no delivery was split
+        # across a rotation boundary.
+        for path in files:
+            lines = path.read_text().strip().splitlines()
+            assert lines[0] == "delivered_at,device,bytes"
+            assert (len(lines) - 1) % 2 == 0  # whole deliveries only
+        total_rows = sum(len(p.read_text().strip().splitlines()) - 1 for p in files)
+        assert total_rows == sink.rows_written == 12
+
+    def test_jsonl_sink_rotation(self, tmp_path):
+        import json
+
+        out = tmp_path / "flows.jsonl"
+        sink = JsonLinesSink(out, max_bytes=100)
+        for _ in range(5):
+            sink(self._result())
+        sink.close()
+        assert sink.rotations >= 1
+        files = sorted(tmp_path.glob("flows.jsonl*"))
+        rows = []
+        for path in files:
+            rows.extend(json.loads(line) for line in path.read_text().splitlines())
+        assert len(rows) == sink.rows_written == 10
+        assert all(r["_delivered_at"] == 3.0 for r in rows)
+
+    def test_rotation_requires_path(self):
+        with pytest.raises(ValueError):
+            CsvSink(io.StringIO(), max_bytes=100)
+        with pytest.raises(ValueError):
+            JsonLinesSink("out.jsonl", max_bytes=0)
+
     def test_memory_sink(self):
         sink = MemorySink(max_deliveries=2)
         for _ in range(3):

@@ -151,3 +151,91 @@ class TestRingBehaviour:
         # Timestamps are non-decreasing.
         stamps = [row.timestamp for row in table.rows()]
         assert stamps == sorted(stamps)
+
+
+class _RecordingSpill:
+    """Duck-typed spill hook that records every callback in order."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_evict(self, table, seq, row):
+        self.calls.append(("evict", seq, row.values[0], len(table)))
+
+    def on_append(self, table, seq, row):
+        self.calls.append(("append", seq, row.values[0], len(table)))
+
+    def on_clear(self, table):
+        self.calls.append(("clear", table.total_inserted, None, len(table)))
+
+
+class TestSpillHooks:
+    def test_eviction_callback_ordering(self):
+        """evict(seq=k) fires before the append that displaces row k,
+        with the victim still counted in the ring; append sees the new
+        row already inserted."""
+        table = make_table(capacity=3)
+        spill = _RecordingSpill()
+        table.spill = spill
+        for i in range(5):
+            table.insert(float(i), [f"d{i}", i])
+        assert spill.calls == [
+            ("append", 1, "d0", 1),
+            ("append", 2, "d1", 2),
+            ("append", 3, "d2", 3),
+            ("evict", 1, "d0", 3),   # victim still retained at hook time
+            ("append", 4, "d3", 3),
+            ("evict", 2, "d1", 3),
+            ("append", 5, "d4", 3),
+        ]
+
+    def test_evicted_seqs_are_gapless(self):
+        table = make_table(capacity=4)
+        spill = _RecordingSpill()
+        table.spill = spill
+        for i in range(50):
+            table.insert(float(i), [f"d{i}", i])
+        evicted = [seq for kind, seq, *_ in spill.calls if kind == "evict"]
+        assert evicted == list(range(1, 50 - 4 + 1))
+        assert table.overwritten == len(evicted)
+
+    def test_clear_fires_before_reset(self):
+        table = make_table(capacity=4)
+        spill = _RecordingSpill()
+        table.spill = spill
+        table.insert(0.0, ["a", 1])
+        table.insert(0.0, ["b", 2])
+        table.clear()
+        # on_clear observed both retained rows (len(table) == 2).
+        assert spill.calls[-1] == ("clear", 2, None, 2)
+        assert len(table) == 0
+        # total_inserted survives clear; the next insert gets seq 3.
+        table.insert(1.0, ["c", 3])
+        assert spill.calls[-1] == ("append", 3, "c", 1)
+
+    def test_rows_with_seq_since_under_burst_overwrite(self):
+        """A burst that wraps the ring several times: the watermark scan
+        returns only what the ring retains, seqs stay consistent with
+        the eviction stream."""
+        table = make_table(capacity=4)
+        spill = _RecordingSpill()
+        table.spill = spill
+        table.insert(0.0, ["x0", 0])
+        watermark = table.append_seq
+        assert watermark == 1
+        for i in range(1, 11):  # 10 more inserts, ring wraps twice
+            table.insert(float(i), [f"x{i}", i])
+        delta = table.rows_with_seq_since(watermark)
+        assert [seq for seq, _row in delta] == [8, 9, 10, 11]
+        assert [row.values[0] for _seq, row in delta] == ["x7", "x8", "x9", "x10"]
+        # Everything the delta scan can no longer see was offered to the
+        # spill hook: evicted seqs + retained seqs == full history.
+        evicted = [seq for kind, seq, *_ in spill.calls if kind == "evict"]
+        retained = [seq for seq, _row in table.rows_with_seq_since(0)]
+        assert evicted + retained == list(range(1, table.total_inserted + 1))
+
+    def test_no_spill_hook_means_no_overhead_paths(self):
+        table = make_table(capacity=2)
+        for i in range(5):
+            table.insert(float(i), [f"d{i}", i])
+        assert table.overwritten == 3  # plain ring behaviour untouched

@@ -12,6 +12,7 @@ Subcommands::
     python -m repro bench       # perf harness + regression gate (repro.bench)
     python -m repro store       # durable-store inspection/recovery (repro.store)
     python -m repro explain     # show the query engine's plan for a CQL query
+    python -m repro trace       # packet-lineage flight recorder (last/explain/drops)
 
 Each demo runs entirely in simulated time and shows what the paper's
 demo visitors would have seen.  All CLI output flows through ``logging``
@@ -43,9 +44,9 @@ logger = logging.getLogger("repro.cli")
 say = logger.info
 
 
-def _build_household(seed: int):
+def _build_household(seed: int, config=None):
     sim = Simulator(seed=seed)
-    router = HomeworkRouter(sim, config=RouterConfig(default_permit=True))
+    router = HomeworkRouter(sim, config=config or RouterConfig(default_permit=True))
     router.start()
     laptop = router.add_device(
         "toms-air", "02:aa:00:00:00:01", wireless=True, position=(4, 3)
@@ -207,8 +208,87 @@ def cmd_explain(argv) -> int:
     return 0
 
 
+def cmd_trace(argv) -> int:
+    """``repro trace last|explain <id>|drops`` — the causal-chain CLI.
+
+    Builds the standard demo household with tracing on (every packet
+    sampled), stirs in a blocked site and a denied device so bad news
+    exists, then answers from the hwdb ``Traces`` table — the same rows
+    any UI could read over CQL or subscribe to over UDP RPC.
+    """
+    from .obs.trace import render_context, render_lineage
+    from .services.dnsproxy.filter import DeviceRule, MODE_ALLOW
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Packet-lineage flight recorder: why did my packet do that?",
+    )
+    parser.add_argument("action", choices=["last", "explain", "drops"])
+    parser.add_argument("trace_id", nargs="?", help="trace id (explain)")
+    parser.add_argument("--seed", type=int, default=42, help="simulation seed")
+    parser.add_argument("--sample", type=float, default=1.0, help="trace_sample")
+    parser.add_argument("--limit", type=int, default=5, help="lineages to show")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose)
+    if args.action == "explain" and not args.trace_id:
+        parser.error("explain needs a trace id (try 'last' first)")
+
+    config = RouterConfig(
+        default_permit=True, trace_enabled=True, trace_sample=args.sample
+    )
+    sim, router, _laptop, tv, ipad = _build_household(args.seed, config=config)
+    # Manufacture some bad news so `drops` has lineages to show: the
+    # kids' iPad loses youtube, the TV gets denied outright.
+    router.dns_proxy.filter.set_rule(
+        ipad.mac, DeviceRule(MODE_ALLOW, blocked=["youtube.com"])
+    )
+    ipad.resolve("www.youtube.com", lambda _ip, _rc: None)
+    sim.run_for(2.0)
+    router.dhcp.policy.set_state(tv.mac, "denied")
+    tv.udp_send(str(router.config.upstream_ip), 9999, b"denied?")
+    # Let the flusher publish lineages into hwdb before querying.
+    sim.run_for(2 * router.config.metrics_flush_interval)
+
+    if args.action == "explain":
+        safe_id = args.trace_id.replace("'", "")
+        result = router.db.query(
+            "SELECT seq, parent, component, verb, decision, cause, t "
+            f"FROM traces WHERE trace_id = '{safe_id}'"
+        )
+        rows = [
+            dict(zip(("seq", "parent", "component", "verb", "decision", "cause", "t"), row))
+            for row in result.rows
+        ]
+        if not rows:
+            say("trace %s: not found in the Traces table", args.trace_id)
+            return 1
+        say(render_lineage(args.trace_id, rows))
+        return 0
+
+    lineages = (
+        router.tracer.drops(args.limit)
+        if args.action == "drops"
+        else router.tracer.recent(args.limit)
+    )
+    if not lineages:
+        say("no finished lineages (is trace_sample too low?)")
+        return 0
+    for ctx in lineages:
+        say(render_context(ctx))
+        say("")
+    say(
+        "%d lineages; drill into one with: python -m repro trace explain <id>",
+        len(lineages),
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        # The flight-recorder CLI owns its own argument set.
+        return cmd_trace(argv[1:])
     if argv and argv[0] == "explain":
         # The explain subcommand takes a free-form query argument.
         return cmd_explain(argv[1:])
@@ -257,6 +337,7 @@ def main(argv=None) -> int:
             "bench",
             "store",
             "explain",
+            "trace",
         ],
         help="which walk-through to run (default: demo)",
     )

@@ -172,6 +172,7 @@ def default_rules() -> List[Rule]:
     from .layers import LayeringRule
     from .metric_names import MetricNameRule
     from .parsers import ParserSafetyRule
+    from .trace_events import TraceEventRule
 
     return [
         LayeringRule(),
@@ -180,6 +181,7 @@ def default_rules() -> List[Rule]:
         ExceptionHygieneRule(),
         PrintRule(),
         MetricNameRule(),
+        TraceEventRule(),
         FileWriteRule(),
     ]
 

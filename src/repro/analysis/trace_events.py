@@ -1,0 +1,87 @@
+"""Trace-event discipline: the flight recorder's closed vocabulary.
+
+Hop records are written from every layer of the stack but rendered,
+queried and grepped as one ``trace.<component>.<verb>`` namespace, so
+the literals passed to ``TraceContext.hop()`` / ``.finish()`` are
+load-bearing the same way metric names are:
+
+* the **component** must come from ``repro.net.trace.TRACE_COMPONENTS``
+  — an unregistered component silently forks the vocabulary and breaks
+  every ``WHERE component = ...`` query written against the Traces
+  table;
+* the **verb** must be kebab-free snake_case (``flow_install``, not
+  ``flow-install``), matching the registry conventions the metrics rule
+  enforces.
+
+Dynamic arguments (f-strings, variables) are skipped — only literal
+call sites can be checked statically.  Calls whose first two positional
+arguments are not both string literals are ignored entirely, which also
+keeps unrelated ``.finish()`` methods (e.g. a runner sealing its trace)
+out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from ..net.trace import TRACE_COMPONENTS
+from .core import Rule, SourceFile, Violation
+
+HOP_METHODS = {"hop", "finish"}
+
+VERB_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+class TraceEventRule(Rule):
+    name = "trace_events"
+    ids = ("trace-event",)
+    description = "hop/finish literals use registered components and snake_case verbs"
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        if source.module.startswith("repro.analysis"):
+            return ()
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in HOP_METHODS or len(node.args) < 2:
+                continue
+            component, verb = node.args[0], node.args[1]
+            if not (
+                isinstance(component, ast.Constant)
+                and isinstance(component.value, str)
+                and isinstance(verb, ast.Constant)
+                and isinstance(verb.value, str)
+            ):
+                continue
+            if component.value not in TRACE_COMPONENTS:
+                violations.append(
+                    Violation(
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule="trace-event",
+                        message=(
+                            f"trace component {component.value!r} is not in "
+                            f"TRACE_COMPONENTS (repro.net.trace); register it "
+                            f"or use one of the existing components"
+                        ),
+                    )
+                )
+            if not VERB_RE.match(verb.value):
+                violations.append(
+                    Violation(
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule="trace-event",
+                        message=(
+                            f"trace verb {verb.value!r} breaks the event "
+                            f"convention: kebab-free snake_case "
+                            f"(e.g. 'flow_install')"
+                        ),
+                    )
+                )
+        return violations

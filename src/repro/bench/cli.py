@@ -114,6 +114,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     logger.info("sim dispatch: %.0f events/s", results["sim_dispatch_events"])
     logger.info("classification: %.0f ops/s", results["classify_memoized"])
+    logger.info(
+        "trace overhead: untraced %.0f pps, sampled %.0f pps, ratio %.3f",
+        results["trace_untraced_pps"],
+        results["trace_sampled_pps"],
+        results["trace_overhead_ratio_sampled"],
+    )
 
     store_results = None
     store_report = None

@@ -23,6 +23,9 @@ SCHEMA = "repro.bench/1"
 #: Ratio floors checked against the *current* run (machine-independent).
 DEFAULT_FLOORS: Dict[str, float] = {
     "flow_lookup_speedup_512": 5.0,
+    # Lineage tracing at the default 1% sample must cost the datapath
+    # fast path at most 10% throughput (ISSUE 10 acceptance criterion).
+    "trace_overhead_ratio_sampled": 0.90,
 }
 
 #: Current throughput must be at least this fraction of baseline.
@@ -33,6 +36,7 @@ THROUGHPUT_KEYS = (
     "flow_lookup_indexed_512",
     "sim_dispatch_events",
     "classify_memoized",
+    "trace_sampled_pps",
 )
 
 

@@ -42,6 +42,9 @@ def write_repro(path: Path, result: RunResult) -> None:
         "scenario": result.scenario.to_dict(),
         "violation": result.violation.to_dict(),
         "trace_hash": result.trace_hash,
+        # Flight-recorder lineages of recently dropped/denied packets —
+        # the causal chains in play when the invariant fired.
+        "lineage": result.lineage,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

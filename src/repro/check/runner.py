@@ -49,6 +49,9 @@ BOGUS_MAC = "02:de:ad:be:ef:99"
 #: paths (leases, NAT idle, flow timeouts) run under observation.
 TAIL_CHECKPOINTS = 4
 
+#: Packet lineages attached to a violating run (most recent drops last).
+LINEAGE_LIMIT = 5
+
 
 class Violation:
     """An invariant failure pinned to the operation that surfaced it."""
@@ -76,7 +79,7 @@ class Violation:
 class RunResult:
     """Everything one scenario execution produced."""
 
-    __slots__ = ("scenario", "trace", "trace_hash", "violation", "skipped", "events")
+    __slots__ = ("scenario", "trace", "trace_hash", "violation", "skipped", "events", "lineage")
 
     def __init__(
         self,
@@ -86,6 +89,7 @@ class RunResult:
         violation: Optional[Violation],
         skipped: int,
         events: int,
+        lineage: Optional[List[dict]] = None,
     ):
         self.scenario = scenario
         self.trace = trace
@@ -93,6 +97,10 @@ class RunResult:
         self.violation = violation
         self.skipped = skipped
         self.events = events
+        #: Recent dropped/denied packet lineages at the moment the
+        #: violation surfaced — the flight recorder's contribution to
+        #: the repro file ("why did my packet do that?").
+        self.lineage = lineage if lineage is not None else []
 
     @property
     def ok(self) -> bool:
@@ -113,6 +121,11 @@ class ScenarioRunner:
         self.scenario = scenario
         self.sim = Simulator(seed=scenario.seed)
         self.router = HomeworkRouter(self.sim, RouterConfig(**scenario.config))
+        # The flight recorder rides along in-memory and publish-free:
+        # sample=0.0 means only dropped/denied packets keep lineages
+        # (those are force-published), and publish=False keeps hwdb
+        # insert counts — hence run digests — exactly as without it.
+        self.router.tracer.enable(sample=0.0, publish=False)
         self.ctx = CheckContext()
         self.ctx.extra_macs = {
             str(self.router.config.router_mac),
@@ -184,6 +197,11 @@ class ScenarioRunner:
             self.violation = self._run_tail(self.trace)
         self.trace.append(f"end t={self.sim.now:.6f} {self._digest()}")
         digest = hashlib.sha256("\n".join(self.trace).encode()).hexdigest()
+        lineage: List[dict] = []
+        if self.violation is not None:
+            lineage = [
+                ctx.to_dict() for ctx in self.router.tracer.drops(LINEAGE_LIMIT)
+            ]
         return RunResult(
             self.scenario,
             self.trace,
@@ -191,6 +209,7 @@ class ScenarioRunner:
             self.violation,
             self.skipped,
             self.sim.events_executed,
+            lineage,
         )
 
     def _run_tail(self, trace: List[str]) -> Optional[Violation]:
@@ -532,6 +551,7 @@ def run_scenario(scenario: Scenario) -> RunResult:
 
 __all__ = [
     "BOGUS_MAC",
+    "LINEAGE_LIMIT",
     "InvariantViolation",
     "RunResult",
     "ScenarioRunner",

@@ -40,6 +40,9 @@ class RouterConfig:
         store_group_records: int = 64,
         store_segment_rows: int = 256,
         store_fsync: bool = False,
+        trace_enabled: bool = False,
+        trace_sample: float = 0.01,
+        trace_buffer: int = 256,
     ):
         self.subnet = subnet if isinstance(subnet, IPv4Network) else IPv4Network(subnet)
         if self.subnet.prefixlen > 24 and isolate_devices:
@@ -95,6 +98,13 @@ class RouterConfig:
             raise ConfigError("store_segment_rows must be positive")
         self.store_segment_rows = int(store_segment_rows)
         self.store_fsync = bool(store_fsync)
+        self.trace_enabled = bool(trace_enabled)
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ConfigError(f"trace_sample must be within [0, 1]: {trace_sample}")
+        self.trace_sample = float(trace_sample)
+        if trace_buffer <= 0:
+            raise ConfigError("trace_buffer must be positive")
+        self.trace_buffer = int(trace_buffer)
 
     def __repr__(self) -> str:
         return (

@@ -30,7 +30,7 @@ from ..measurement.aggregator import BandwidthAggregator
 from ..measurement.collectors import FlowCollector, LeaseCollector, LinkCollector
 from ..net.addresses import IPv4Address, MACAddress
 from ..nox.controller import Controller
-from ..obs import MetricsFlusher, MetricsRegistry
+from ..obs import MetricsFlusher, MetricsRegistry, Tracer
 from ..openflow.channel import SecureChannel
 from ..openflow.datapath import Datapath
 from ..policy.engine import PolicyEngine
@@ -71,6 +71,16 @@ class HomeworkRouter:
         # --- telemetry (obs subsystem) ---------------------------------------
         # Created first: every subsystem below reports into it.
         self.metrics = MetricsRegistry()
+        # The packet-lineage flight recorder (DESIGN.md §16).  Hosts mint
+        # contexts from it at frame TX; everything downstream reads the
+        # context off the frame itself, so only the edges need wiring.
+        self.tracer = Tracer(
+            clock=sim.clock.now,
+            sample=self.config.trace_sample,
+            enabled=self.config.trace_enabled,
+            buffer=self.config.trace_buffer,
+            registry=self.metrics,
+        )
 
         # --- datapath + secure channel + NOX --------------------------------
         self.datapath = Datapath(sim, datapath_id=1, name="dp0", registry=self.metrics)
@@ -81,6 +91,8 @@ class HomeworkRouter:
 
         # --- upstream ---------------------------------------------------------
         self.cloud = cloud or InternetCloud(sim, ip=self.config.upstream_ip)
+        # Return traffic gets its own lineage (NAT de-translation etc.).
+        self.cloud.tracer = self.tracer
         upstream = self.datapath.add_port("upstream")
         self.upstream_port = upstream.number
         self.upstream_link = Link(
@@ -132,6 +144,7 @@ class HomeworkRouter:
             self.db, self.metrics, interval=self.config.metrics_flush_interval
         )
         self.metrics_flusher.add_collector(self._collect_port_gauges)
+        self.metrics_flusher.add_collector(self._publish_traces)
 
         # --- NOX components (paper's shaded boxes) ------------------------------
         self.dhcp: DhcpServer = self.controller.add_component(
@@ -171,6 +184,8 @@ class HomeworkRouter:
             hwdb=self.db,
         )
         self.udev = UdevMonitor(self.control_api, self.bus)
+        # Lets the deny-verdict hop name the policy documents behind it.
+        self.router_core.policy_engine = self.policy_engine
 
         # --- measurement plane ------------------------------------------------
         self.flow_collector = FlowCollector(
@@ -221,6 +236,7 @@ class HomeworkRouter:
             link = Link(
                 self.sim, host.port, port, bandwidth_bps=bandwidth_bps or 1e9
             )
+        host.tracer = self.tracer
         self._devices[name] = host
         self._device_links[name] = link
         self.link_collector.register(host.mac, link)
@@ -289,6 +305,19 @@ class HomeworkRouter:
             self.metrics.gauge(f"{base}.tx_packets").set(port.tx_packets)
         self.metrics.gauge("openflow.cache_entries").set(self.datapath.cache_len())
         self.metrics.gauge("openflow.flow_table_entries").set(len(self.datapath.table))
+
+    def _publish_traces(self) -> None:
+        """Drain finished lineages into the hwdb Traces stream table.
+
+        Rides the metrics flusher so lineage is queryable/subscribable
+        like every other table.  Publication is gated separately from
+        tracing itself: the fuzzer traces in memory with publication off
+        so hwdb insert counts (and hence run digests) never move.
+        """
+        if not self.tracer.enabled or not self.tracer.publish_enabled:
+            return
+        for row in self.tracer.export_rows():
+            self.db.insert("traces", row)
 
     # ------------------------------------------------------------------
     # Conveniences

@@ -30,6 +30,7 @@ from .schema import (
     LEASES_SCHEMA,
     LINKS_SCHEMA,
     STANDARD_TABLES,
+    TRACES_SCHEMA,
     install_standard_schema,
 )
 from .table import Column, Row, StreamTable, TS_COLUMN
@@ -77,6 +78,7 @@ __all__ = [
     "LINKS_SCHEMA",
     "LEASES_SCHEMA",
     "DNS_SCHEMA",
+    "TRACES_SCHEMA",
     "ColumnType",
     "type_by_name",
     "INTEGER",

@@ -59,12 +59,29 @@ METRICS_SCHEMA = [
     ("value", "real"),
 ]
 
+#: Packet-lineage hop records published by the flight recorder
+#: (repro.obs.trace).  One row per hop; ``trace_id`` groups a packet's
+#: causal chain, ``parent`` is the seq of the causing hop (-1 for the
+#: root).  Bounded like every stream table: the ring holds the most
+#: recent lineages, sized by RouterConfig.hwdb_capacity.
+TRACES_SCHEMA = [
+    ("trace_id", "varchar"),
+    ("seq", "integer"),
+    ("parent", "integer"),
+    ("component", "varchar"),  # registered trace component (net.trace)
+    ("verb", "varchar"),       # tx | deliver | lookup | verdict | ...
+    ("decision", "varchar"),   # hit | miss | permit | deny | drop | ...
+    ("cause", "varchar"),      # free-form detail, e.g. "priority=0x9000"
+    ("t", "real"),             # simulated timestamp of the hop
+]
+
 STANDARD_TABLES = {
     "flows": FLOWS_SCHEMA,
     "links": LINKS_SCHEMA,
     "leases": LEASES_SCHEMA,
     "dns": DNS_SCHEMA,
     "metrics": METRICS_SCHEMA,
+    "traces": TRACES_SCHEMA,
 }
 
 

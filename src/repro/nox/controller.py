@@ -13,6 +13,7 @@ import logging
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
 
 from ..core.errors import ControllerError
+from ..net.trace import trace_of
 from ..openflow.actions import ActionList
 from ..openflow.channel import SecureChannel
 from ..openflow.flow_table import DEFAULT_PRIORITY
@@ -195,11 +196,18 @@ class Controller:
             self.dispatch(EV_DATAPATH_JOIN, msg)
         elif isinstance(msg, PacketIn):
             self.packet_ins_handled += 1
+            ctx = trace_of(msg.data)
+            if ctx is not None:
+                ctx.hop(
+                    "controller",
+                    "packet_in",
+                    cause=f"in_port={msg.in_port} reason={msg.reason}",
+                )
             if self._m_packet_ins is not None:
                 self._m_packet_ins.inc()
-                t0 = self.registry.clock()
-                self.dispatch(EV_PACKET_IN, msg)
-                self._m_handle_lat.observe(self.registry.clock() - t0)
+                with self.registry.span("openflow.packet_in") as span:
+                    self.dispatch(EV_PACKET_IN, msg)
+                self._m_handle_lat.observe(span.duration)
             else:
                 self.dispatch(EV_PACKET_IN, msg)
         elif isinstance(msg, FlowRemoved):

@@ -16,6 +16,7 @@ from .metrics import (
     REGISTRY,
     Span,
 )
+from .trace import TRACES_TABLE, Tracer, render_context, render_lineage
 
 __all__ = [
     "Counter",
@@ -27,4 +28,8 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "Span",
+    "TRACES_TABLE",
+    "Tracer",
+    "render_context",
+    "render_lineage",
 ]

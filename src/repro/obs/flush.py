@@ -77,7 +77,7 @@ class MetricsFlusher:
                 collector()
             except Exception:  # noqa: BLE001 - a bad collector must not stop export
                 logger.exception("metrics collector failed")
-                self.registry.counter("obs.collector_error_total").inc()
+                self.registry.counter("obs.collector_errors").inc()
         if not self.db.has_table(self.table):
             return 0
         rows = self.registry.snapshot()

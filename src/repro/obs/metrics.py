@@ -321,6 +321,12 @@ class MetricsRegistry:
             span.end = self.clock()
             self._span_stack.pop()
             self.histogram(f"span.{name}").observe(span.duration)
+            if (
+                self.finished_spans.maxlen is not None
+                and len(self.finished_spans) == self.finished_spans.maxlen
+            ):
+                # The ring is full: this append evicts the oldest span.
+                self.counter("obs.spans_dropped").inc()
             self.finished_spans.append(span)
 
     def current_span(self) -> Optional[Span]:

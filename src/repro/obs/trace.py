@@ -1,0 +1,193 @@
+"""The flight recorder: mints trace contexts and publishes lineages.
+
+The :class:`Tracer` owns policy — whether tracing is on, which packets
+are sampled, how many finished lineages stay resident — while the
+per-packet mechanics (hop records, the ``trace`` field on frame bytes)
+live in :mod:`repro.net.trace`.  Three consumers share its output:
+
+* the hwdb ``Traces`` stream table, fed through the metrics flusher's
+  collector road so lineage is queryable over CQL and subscribable over
+  UDP RPC like every other table;
+* ``python -m repro trace`` (``last`` / ``explain`` / ``drops``), the
+  human-readable causal-chain CLI;
+* the fuzzer, which runs an in-memory, publish-free tracer so invariant
+  failures can attach the offending packet's lineage to ddmin repro
+  files without perturbing hwdb insert counts (and hence run digests).
+
+Sampling is a deterministic modulo counter, *not* an RNG draw: enabling
+tracing must never advance ``sim.random``, or the 50-seed golden-trace
+digests of PR 8 would move.  Dropped/denied packets bypass sampling
+entirely — their contexts are force-published from the decision point
+(DESIGN.md §16, "always trace the bad news").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, List, Optional
+
+from ..net.trace import TraceContext
+
+#: hwdb stream table receiving one row per hop (see hwdb.schema).
+TRACES_TABLE = "traces"
+
+
+class Tracer:
+    """Mints trace ids, samples deterministically, retains lineages."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        sample: float = 0.01,
+        enabled: bool = False,
+        buffer: int = 256,
+        registry=None,
+    ):
+        self.clock = clock
+        self.enabled = enabled
+        self.publish_enabled = True
+        self.sample = 0.0
+        self._period = 0
+        self.set_sample(sample)
+        self.finished: deque = deque(maxlen=buffer)
+        self._seq = 0
+        self._started_synced = 0
+        self._finish_ordinal = 0
+        self._export_cursor = 0
+        if registry is None:
+            self._m_started = None
+            self._m_published = None
+            self._m_evicted = None
+        else:
+            self._m_started = registry.counter("trace.contexts_started_total")
+            self._m_published = registry.counter("trace.lineages_published_total")
+            self._m_evicted = registry.counter("trace.lineages_evicted_total")
+
+    # ------------------------------------------------------------------
+    # Policy knobs
+    # ------------------------------------------------------------------
+
+    def set_sample(self, sample: float) -> None:
+        """Sampling rate in [0, 1]; 1/N packets get a full lineage."""
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"trace_sample must be within [0, 1]: {sample}")
+        self.sample = sample
+        # Deterministic counter sampling: every Nth mint is sampled.
+        self._period = 0 if sample <= 0.0 else max(1, round(1.0 / sample))
+
+    def enable(self, sample: Optional[float] = None, publish: bool = True) -> None:
+        """Turn tracing on (the fuzzer passes ``publish=False``)."""
+        self.enabled = True
+        self.publish_enabled = publish
+        if sample is not None:
+            self.set_sample(sample)
+
+    # ------------------------------------------------------------------
+    # Mint / collect
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Optional[TraceContext]:
+        """A fresh context for a packet entering the network, or None.
+
+        This is hot-path work (one mint per packet while tracing), so it
+        does the minimum: bump the mint counter, decide sampling, build
+        the context.  The id string is formatted lazily and the started
+        metric is synced in batches by :meth:`_sync_metrics`.
+        """
+        if not self.enabled:
+            return None
+        self._seq += 1
+        sampled = self._period > 0 and self._seq % self._period == 0
+        return TraceContext(
+            mint=self._seq, sampled=sampled, clock=self.clock, tracer=self
+        )
+
+    def _sync_metrics(self) -> None:
+        """Fold mints since the last sync into the started counter."""
+        if self._m_started is not None and self._seq != self._started_synced:
+            self._m_started.inc(self._seq - self._started_synced)
+            self._started_synced = self._seq
+
+    def publish(self, ctx: TraceContext) -> None:
+        """Called by ``TraceContext.finish`` for sampled/forced lineages."""
+        if self.finished.maxlen is not None and len(self.finished) == self.finished.maxlen:
+            if self._m_evicted is not None:
+                self._m_evicted.inc()
+        ctx.ordinal = self._finish_ordinal
+        self._finish_ordinal += 1
+        self.finished.append(ctx)
+        if self._m_published is not None:
+            self._m_published.inc()
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+
+    def recent(self, limit: int = 10) -> List[TraceContext]:
+        """Most recently finished lineages, newest last."""
+        self._sync_metrics()
+        items = list(self.finished)
+        return items[-limit:]
+
+    def drops(self, limit: int = 10) -> List[TraceContext]:
+        """Most recent dropped/denied/blocked lineages, newest last."""
+        bad = [ctx for ctx in self.finished if ctx.forced]
+        return bad[-limit:]
+
+    def export_rows(self) -> List[dict]:
+        """Hop rows finished since the last export (the flusher road).
+
+        The cursor walks finish ordinals so a lineage is exported once
+        even though the retention deque also serves the CLI; lineages
+        evicted before a flush are simply lost, like any bounded stream.
+        """
+        self._sync_metrics()
+        rows: List[dict] = []
+        for ctx in self.finished:
+            if ctx.ordinal < self._export_cursor:
+                continue
+            for h in ctx.hops:
+                rows.append(
+                    {
+                        "trace_id": ctx.trace_id,
+                        "seq": h.seq,
+                        "parent": -1 if h.parent is None else h.parent,
+                        "component": h.component,
+                        "verb": h.verb,
+                        "decision": h.decision,
+                        "cause": h.cause,
+                        "t": h.t,
+                    }
+                )
+        self._export_cursor = self._finish_ordinal
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Rendering (shared by the CLI and the fuzzer's repro files)
+# ----------------------------------------------------------------------
+
+
+def render_lineage(trace_id: str, rows: Iterable[dict]) -> str:
+    """A human-readable causal chain from hop rows (dicts or CQL rows).
+
+    Accepts the dict shape produced by :meth:`Tracer.export_rows` /
+    ``TraceHop.to_dict``; rows are sorted by ``seq`` so CQL result
+    ordering does not matter.
+    """
+    hops = sorted(rows, key=lambda r: r["seq"])
+    if not hops:
+        return f"trace {trace_id}: no hop records"
+    last = hops[-1]
+    outcome = last.get("decision") or "in-flight"
+    lines = [f"trace {trace_id} — {len(hops)} hops, outcome: {outcome}"]
+    for h in hops:
+        event = f"{h['component']}.{h['verb']}"
+        detail = " ".join(p for p in (h.get("decision"), h.get("cause")) if p)
+        lines.append(f"  [{h['seq']:>2}] t={h['t']:>10.6f}  {event:<22} {detail}".rstrip())
+    return "\n".join(lines)
+
+
+def render_context(ctx: TraceContext) -> str:
+    """Render a live :class:`TraceContext` (in-memory consumers)."""
+    return render_lineage(ctx.trace_id, [h.to_dict() for h in ctx.hops])

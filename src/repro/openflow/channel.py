@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..core.errors import SimulationError
-from .messages import Hello, OpenFlowMessage
+from ..net.trace import trace_of
+from .messages import Hello, OpenFlowMessage, PacketIn
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.simulator import Simulator
@@ -126,9 +127,14 @@ class SecureChannel:
 
     def to_controller(self, msg: OpenFlowMessage) -> None:
         """Switch → controller delivery after one channel latency."""
+        ctx = trace_of(msg.data) if isinstance(msg, PacketIn) else None
         if not self.connected or self._controller_sink is None:
+            if ctx is not None:
+                ctx.finish("channel", "drop", decision="drop", cause="disconnected")
             return
         self.to_controller_count += 1
+        if ctx is not None:
+            ctx.hop("channel", "deliver", cause=f"latency={self.latency}")
         self._send("_pending_to_controller", self._controller_sink, msg)
 
     def to_switch(self, msg: OpenFlowMessage) -> None:

@@ -21,6 +21,7 @@ from ..core.errors import DatapathError
 from ..net.ethernet import Ethernet
 from ..net.packet import PacketError
 from ..net.port import Port
+from ..net.trace import trace_of, with_trace
 from .actions import (
     Action,
     ActionList,
@@ -380,7 +381,10 @@ class Datapath:
         for tap in self.taps:
             tap(raw, in_port)
         key = extract_key(raw, in_port)
+        ctx = trace_of(raw)
         if key is None:
+            if ctx is not None:
+                ctx.finish("datapath", "drop", decision="drop", cause="unparseable")
             return  # unparseable, drop
 
         if self.enable_cache:
@@ -388,6 +392,14 @@ class Datapath:
             if cached is not None:
                 self.cache_hits += 1
                 cached.entry.touch(self.sim.now, len(raw))
+                # Fast path: per-hop work only for sampled/forced traces.
+                if ctx is not None and ctx.active:
+                    ctx.hop(
+                        "datapath",
+                        "lookup",
+                        decision="cache_hit",
+                        cause=f"priority={cached.entry.priority:#x} cookie={cached.entry.cookie}",
+                    )
                 self._execute(raw, cached.actions, in_port)
                 return
 
@@ -395,6 +407,13 @@ class Datapath:
         if entry is not None:
             self.table_hits += 1
             entry.touch(self.sim.now, len(raw))
+            if ctx is not None and ctx.active:
+                ctx.hop(
+                    "datapath",
+                    "lookup",
+                    decision="table_hit",
+                    cause=f"priority={entry.priority:#x} cookie={entry.cookie}",
+                )
             if self.enable_cache and self._cacheable(entry.actions):
                 if len(self._cache) >= self.cache_size:
                     self._cache.clear()  # OVS-style wholesale flush
@@ -403,6 +422,10 @@ class Datapath:
             return
 
         self.misses += 1
+        if ctx is not None:
+            # Slow path already pays a controller round trip: record
+            # unconditionally so a later drop/deny keeps its prefix.
+            ctx.hop("datapath", "lookup", decision="miss")
         self._punt(raw, in_port, REASON_NO_MATCH)
 
     @staticmethod
@@ -413,12 +436,22 @@ class Datapath:
         )
 
     def _punt(self, raw: bytes, in_port: int, reason: int) -> None:
+        ctx = trace_of(raw)
         if self.channel is None:
+            if ctx is not None:
+                ctx.finish("datapath", "drop", decision="drop", cause="no_channel")
             return
         buffer_id = self._buffer_packet(raw, in_port)
         if self._m_flow_setup is not None:
             self._punt_times[buffer_id] = self.sim.now
         self.packet_ins_sent += 1
+        if ctx is not None:
+            ctx.hop(
+                "datapath",
+                "punt",
+                decision="to_controller",
+                cause=f"reason={reason} buffer={buffer_id}",
+            )
         self.channel.to_controller(
             PacketIn(
                 buffer_id=buffer_id,
@@ -456,6 +489,11 @@ class Datapath:
 
     def _execute(self, raw: bytes, actions: ActionList, in_port: int) -> None:
         if not actions:
+            ctx = trace_of(raw)
+            if ctx is not None:
+                # Matching a drop flow is a terminal decision: always
+                # traced, regardless of sampling.
+                ctx.finish("datapath", "drop", decision="drop", cause="drop_flow")
             return  # drop
         needs_rewrite = any(not isinstance(a, Output) for a in actions)
         frame: Optional[Ethernet] = None
@@ -466,7 +504,12 @@ class Datapath:
                 return
         for action in actions:
             if isinstance(action, Output):
-                data = frame.pack() if frame is not None else raw
+                if frame is not None:
+                    # Re-serialising makes fresh bytes; the lineage must
+                    # ride the rewritten frame too.
+                    data = with_trace(frame.pack(), trace_of(raw))
+                else:
+                    data = raw
                 self._output(data, action.port, in_port)
             else:
                 assert frame is not None

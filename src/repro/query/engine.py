@@ -31,6 +31,7 @@ eviction only ever discards ad-hoc queries; DDL invalidates everything.
 from __future__ import annotations
 
 import logging
+from contextlib import nullcontext
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -179,15 +180,22 @@ class QueryEngine:
             self._share_now = now
         timer = self.metrics.timer
         started = timer() if timer is not None else None
+        registry = self.metrics.registry
+        tick_span = (
+            registry.span("query.tick", mode=entry.mode)
+            if registry is not None
+            else nullcontext()
+        )
         try:
-            if entry.mode == MODE_INCREMENTAL:
-                result = entry.state.tick(tables, now)
-                self.metrics.incremental_tick()
-            else:
-                result = entry.plan.execute(
-                    tables, now, share=self.share, timer=timer
-                )
-                self.metrics.full_tick()
+            with tick_span:
+                if entry.mode == MODE_INCREMENTAL:
+                    result = entry.state.tick(tables, now)
+                    self.metrics.incremental_tick()
+                else:
+                    result = entry.plan.execute(
+                        tables, now, share=self.share, timer=timer
+                    )
+                    self.metrics.full_tick()
         except HwdbError:
             # Hwdb-level conditions (table dropped mid-tick, ...) are the
             # legacy executor's to answer — same inputs, same outcome.

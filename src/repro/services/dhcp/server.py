@@ -34,6 +34,7 @@ from ...net.dhcp_msg import (
 from ...net.ethernet import ETH_TYPE_IPV4, Ethernet
 from ...net.ipv4 import IPv4, PROTO_UDP
 from ...net.packet import PacketError
+from ...net.trace import trace_of, with_trace
 from ...net.udp import PORT_DHCP_CLIENT, PORT_DHCP_SERVER, UDP
 from ...nox.component import CONTINUE, Component, STOP
 from ...nox.controller import EV_PACKET_IN
@@ -130,37 +131,41 @@ class DhcpServer(Component):
                 request = DHCPMessage.unpack(udp.pack_payload())
             except PacketError:
                 return CONTINUE
-        self._handle_dhcp(request, msg.in_port)
+        self._handle_dhcp(request, msg.in_port, trace_of(msg.data))
         return STOP
 
-    def _handle_dhcp(self, request: DHCPMessage, in_port: int) -> None:
+    def _handle_dhcp(self, request: DHCPMessage, in_port: int, ctx=None) -> None:
         mtype = request.message_type
         mac = request.chaddr
         hostname = request.hostname or ""
         record = self.policy.observe(mac, self.now, hostname)
+        if ctx is not None:
+            ctx.hop("dhcp", "handle", decision=f"type_{mtype}", cause=f"mac={mac}")
         if mtype == DHCPDISCOVER:
             self.discovers += 1
             if self._m_discovers is not None:
                 self._m_discovers.inc()
                 self._discover_at[mac] = self.now
-            self._on_discover(request, record, in_port)
+            self._on_discover(request, record, in_port, ctx)
         elif mtype == DHCPREQUEST:
-            self._on_request(request, record, in_port)
+            self._on_request(request, record, in_port, ctx)
         elif mtype == DHCPRELEASE:
             self._on_release(request)
         elif mtype == DHCPDECLINE:
             self._revoke(mac, "declined")
         elif mtype == DHCPINFORM:
-            self._on_inform(request, in_port)
+            self._on_inform(request, in_port, ctx)
         else:
             logger.debug("ignoring DHCP message type %s from %s", mtype, mac)
 
-    def _on_discover(self, request: DHCPMessage, record, in_port: int) -> None:
+    def _on_discover(self, request: DHCPMessage, record, in_port: int, ctx=None) -> None:
         mac = request.chaddr
         if record.state == PENDING:
             # Device detected but not yet permitted: surface it to the
             # control interface and withhold the address.
             self.withheld += 1
+            if ctx is not None:
+                ctx.finish("dhcp", "withhold", decision="drop", cause="pending")
             self.bus.emit(
                 "dhcp.device.pending",
                 timestamp=self.now,
@@ -171,6 +176,8 @@ class DhcpServer(Component):
             return
         if record.state == DENIED:
             self.withheld += 1
+            if ctx is not None:
+                ctx.finish("dhcp", "withhold", decision="deny", cause="device_denied")
             self.bus.emit(
                 "dhcp.device.denied_attempt",
                 timestamp=self.now,
@@ -184,13 +191,15 @@ class DhcpServer(Component):
         )
         self.offers += 1
         reply = request.reply(DHCPOFFER, yiaddr=lease.ip, server_id=self.server_id)
+        if ctx is not None:
+            ctx.hop("dhcp", "offer", cause=f"ip={lease.ip}")
         self._fill_options(reply, lease, request)
-        self._send_reply(reply, in_port)
+        self._send_reply(reply, in_port, ctx)
 
-    def _on_request(self, request: DHCPMessage, record, in_port: int) -> None:
+    def _on_request(self, request: DHCPMessage, record, in_port: int, ctx=None) -> None:
         mac = request.chaddr
         if record.state != "permitted":
-            self._nak(request, in_port)
+            self._nak(request, in_port, ctx)
             return
         requested = request.requested_ip or request.ciaddr
         lease = self.leases.by_mac(mac)
@@ -204,7 +213,7 @@ class DhcpServer(Component):
                 mac, allocation, record.hostname, self.now, self.config.lease_time
             )
         if requested and not requested.is_unspecified and requested != lease.ip:
-            self._nak(request, in_port)
+            self._nak(request, in_port, ctx)
             return
         was_bound = lease.state == STATE_BOUND
         self.leases.bind(mac, self.now, self.config.lease_time)
@@ -215,8 +224,10 @@ class DhcpServer(Component):
             if discovered_at is not None:
                 self._m_handshake.observe(self.now - discovered_at)
         reply = request.reply(DHCPACK, yiaddr=lease.ip, server_id=self.server_id)
+        if ctx is not None:
+            ctx.hop("dhcp", "ack", cause=f"ip={lease.ip}")
         self._fill_options(reply, lease, request)
-        self._send_reply(reply, in_port)
+        self._send_reply(reply, in_port, ctx)
         action = "renewed" if was_bound else "granted"
         self.bus.emit(
             f"dhcp.lease.{action}",
@@ -231,18 +242,20 @@ class DhcpServer(Component):
     def _on_release(self, request: DHCPMessage) -> None:
         self._revoke(request.chaddr, "released")
 
-    def _on_inform(self, request: DHCPMessage, in_port: int) -> None:
+    def _on_inform(self, request: DHCPMessage, in_port: int, ctx=None) -> None:
         reply = request.reply(DHCPACK, yiaddr="0.0.0.0", server_id=self.server_id)
         reply.set_option_ip(OPT_DNS_SERVER, self.config.router_ip)
-        self._send_reply(reply, in_port)
+        self._send_reply(reply, in_port, ctx)
 
-    def _nak(self, request: DHCPMessage, in_port: int) -> None:
+    def _nak(self, request: DHCPMessage, in_port: int, ctx=None) -> None:
         self.naks += 1
         if self._m_naks is not None:
             self._m_naks.inc()
             self._discover_at.pop(request.chaddr, None)
         reply = request.reply(DHCPNAK, yiaddr="0.0.0.0", server_id=self.server_id)
-        self._send_reply(reply, in_port)
+        if ctx is not None:
+            ctx.hop("dhcp", "nak", cause=f"mac={request.chaddr}")
+        self._send_reply(reply, in_port, ctx)
         self.bus.emit(
             "dhcp.lease.denied",
             timestamp=self.now,
@@ -306,7 +319,7 @@ class DhcpServer(Component):
             reply.set_option_ip(OPT_DNS_SERVER, lease.gateway)
         reply.set_option_u32(OPT_LEASE_TIME, int(self.config.lease_time))
 
-    def _send_reply(self, reply: DHCPMessage, in_port: int) -> None:
+    def _send_reply(self, reply: DHCPMessage, in_port: int, ctx=None) -> None:
         # Replies go link-layer unicast to the client MAC but IP broadcast
         # (the client has no address yet), matching common server practice.
         udp = UDP(sport=PORT_DHCP_SERVER, dport=PORT_DHCP_CLIENT, payload=reply)
@@ -322,4 +335,5 @@ class DhcpServer(Component):
             ethertype=ETH_TYPE_IPV4,
             payload=packet,
         )
-        self.controller.send_packet(frame.pack(), output(in_port))
+        # The reply is fresh bytes continuing the request's lineage.
+        self.controller.send_packet(with_trace(frame.pack(), ctx), output(in_port))

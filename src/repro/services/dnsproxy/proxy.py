@@ -31,6 +31,7 @@ from ...net.dns_msg import (
 from ...net.ethernet import ETH_TYPE_IPV4, Ethernet
 from ...net.ipv4 import IPv4, PROTO_UDP
 from ...net.packet import PacketError
+from ...net.trace import trace_of, with_trace
 from ...net.udp import PORT_DNS, UDP
 from ...nox.component import CONTINUE, Component, STOP
 from ...nox.controller import EV_PACKET_IN
@@ -125,7 +126,10 @@ class DnsProxy(Component):
         self.queries_seen += 1
         if self._m_queries is not None:
             self._m_queries.inc()
-        self._answer(query, frame, ip, udp, msg.in_port)
+        ctx = trace_of(msg.data)
+        if ctx is not None:
+            ctx.hop("dns", "query", cause=f"name={query.qname or ''}")
+        self._answer(query, frame, ip, udp, msg.in_port, ctx)
         return STOP
 
     def _answer(
@@ -135,6 +139,7 @@ class DnsProxy(Component):
         ip: IPv4,
         udp: UDP,
         in_port: int,
+        ctx=None,
     ) -> None:
         name = query.qname or ""
         device_ip = ip.src
@@ -146,12 +151,23 @@ class DnsProxy(Component):
             if self._m_blocked is not None:
                 self._m_blocked.inc()
             self.nxdomain_answers += 1
+            if ctx is not None:
+                # A filter denial is bad news: publish regardless of
+                # sampling, like any drop.
+                ctx.force()
+                ctx.hop("dns", "answer", decision="blocked", cause=f"name={name}")
             self._emit(device_ip, name, None, allowed=False)
-            self._reply(query.respond(rcode=RCODE_NXDOMAIN), frame, ip, udp, in_port)
+            self._reply(
+                query.respond(rcode=RCODE_NXDOMAIN), frame, ip, udp, in_port, ctx
+            )
             return
 
         if question.qtype != TYPE_A:
-            self._reply(query.respond(rcode=RCODE_REFUSED), frame, ip, udp, in_port)
+            if ctx is not None:
+                ctx.hop("dns", "answer", decision="refused", cause=f"qtype={question.qtype}")
+            self._reply(
+                query.respond(rcode=RCODE_REFUSED), frame, ip, udp, in_port, ctx
+            )
             return
 
         cached = self.cache.get(name, self.now)
@@ -159,7 +175,11 @@ class DnsProxy(Component):
             self.cache_answers += 1
             if self._m_cache_hits is not None:
                 self._m_cache_hits.inc()
-            self._finish(query, frame, ip, udp, in_port, name, cached)
+            if ctx is not None:
+                ctx.hop(
+                    "dns", "answer", decision="cache", cause=f"name={name} ip={cached}"
+                )
+            self._finish(query, frame, ip, udp, in_port, name, cached, ctx)
             return
 
         if self._m_cache_misses is not None:
@@ -171,14 +191,25 @@ class DnsProxy(Component):
                 self._m_upstream_lat.observe(self.now - asked_at)
             if address is None:
                 self.nxdomain_answers += 1
+                if ctx is not None:
+                    ctx.hop(
+                        "dns", "answer", decision="nxdomain", cause=f"name={name}"
+                    )
                 self._emit(device_ip, name, None, allowed=True)
                 self._reply(
-                    query.respond(rcode=RCODE_NXDOMAIN), frame, ip, udp, in_port
+                    query.respond(rcode=RCODE_NXDOMAIN), frame, ip, udp, in_port, ctx
                 )
                 return
             self.upstream_answers += 1
             self.cache.put(name, address, self.now)
-            self._finish(query, frame, ip, udp, in_port, name, address)
+            if ctx is not None:
+                ctx.hop(
+                    "dns",
+                    "answer",
+                    decision="upstream",
+                    cause=f"name={name} ip={address}",
+                )
+            self._finish(query, frame, ip, udp, in_port, name, address, ctx)
 
         self.upstream.resolve(name, resolved)
 
@@ -191,12 +222,13 @@ class DnsProxy(Component):
         in_port: int,
         name: str,
         address: IPv4Address,
+        ctx=None,
     ) -> None:
         # Remember the binding: this device may now open flows to address.
         self.requested.record(ip.src, name, address, self.now)
         self._emit(ip.src, name, address, allowed=True)
         response = query.respond([DNSRecord.a(name, address)])
-        self._reply(response, frame, ip, udp, in_port)
+        self._reply(response, frame, ip, udp, in_port, ctx)
 
     def _reply(
         self,
@@ -205,6 +237,7 @@ class DnsProxy(Component):
         ip: IPv4,
         udp: UDP,
         in_port: int,
+        ctx=None,
     ) -> None:
         reply_udp = UDP(sport=PORT_DNS, dport=udp.sport, payload=response.pack())
         reply_ip = IPv4(src=ip.dst, dst=ip.src, proto=PROTO_UDP, payload=reply_udp)
@@ -214,7 +247,9 @@ class DnsProxy(Component):
             ethertype=ETH_TYPE_IPV4,
             payload=reply_ip,
         )
-        self.controller.send_packet(reply_frame.pack(), output(in_port))
+        # The reply is fresh bytes carrying the query's lineage: the
+        # trace ends when the asking host receives it.
+        self.controller.send_packet(with_trace(reply_frame.pack(), ctx), output(in_port))
 
     def _emit(
         self,

@@ -26,6 +26,7 @@ from ..net.ethernet import ETH_TYPE_ARP, ETH_TYPE_IPV4, Ethernet
 from ..net.icmp import ICMP
 from ..net.ipv4 import IPv4, PROTO_ICMP
 from ..net.packet import PacketError
+from ..net.trace import trace_of, with_trace
 from ..net.ipv4 import PROTO_TCP, PROTO_UDP
 from ..nox.component import CONTINUE, Component, STOP
 from ..nox.controller import EV_PACKET_IN
@@ -84,6 +85,10 @@ class RouterCore(Component):
             if config.nat_enabled
             else None
         )
+
+        # Injected by HomeworkRouter so deny-verdict trace hops can
+        # name the policy documents behind the denial.
+        self.policy_engine = None
 
         self.arp_replies = 0
         self.flows_installed = 0
@@ -167,7 +172,11 @@ class RouterCore(Component):
             payload=reply,
         )
         self.arp_replies += 1
-        self.controller.send_packet(reply_frame.pack(), output(msg.in_port))
+        ctx = trace_of(msg.data)
+        if ctx is not None:
+            ctx.hop("router", "arp_reply", cause=f"target={arp.target_ip}")
+        reply_raw = with_trace(reply_frame.pack(), ctx)
+        self.controller.send_packet(reply_raw, output(msg.in_port))
 
     # ------------------------------------------------------------------
     # IPv4 forwarding
@@ -179,21 +188,49 @@ class RouterCore(Component):
         is_gateway = getattr(self.dhcp.pool, "is_gateway", None)
         return bool(is_gateway and is_gateway(ip))
 
+    def _policy_cause(self, mac) -> str:
+        """Name the policy documents restricting ``mac`` (trace detail)."""
+        if self.policy_engine is None:
+            return ""
+        restrictions = self.policy_engine.restrictions_for(mac, self.now)
+        if not restrictions.source_policies:
+            return ""
+        return " policies=" + ",".join(
+            str(pid) for pid in restrictions.source_policies
+        )
+
     def _handle_ipv4(self, msg: PacketIn, key) -> None:
         src_ip = key.nw_src
         dst_ip = key.nw_dst
+        ctx = trace_of(msg.data)
         if src_ip is None or dst_ip is None:
             self.drops += 1
+            if ctx is not None:
+                ctx.finish("router", "drop", decision="drop", cause="no_addresses")
             return
 
         # Policy: denied devices get an explicit drop flow.
         src_lease = self.dhcp.leases.by_ip(src_ip)
         if src_lease is not None and not self.dhcp.policy.is_permitted(src_lease.mac):
+            if ctx is not None:
+                ctx.hop(
+                    "policy",
+                    "verdict",
+                    decision="deny",
+                    cause=f"device_denied mac={src_lease.mac}"
+                    + self._policy_cause(src_lease.mac),
+                )
             self._install_drop(msg, key, reason="device_denied")
             return
+        if src_lease is not None and ctx is not None:
+            ctx.hop(
+                "policy", "verdict", decision="permit", cause=f"mac={src_lease.mac}"
+            )
 
         if dst_ip.is_broadcast or dst_ip.is_multicast:
             self.drops += 1
+            if ctx is not None:
+                ctx.finish("router", "drop", decision="drop", cause="broadcast_dst")
             return
 
         if self._is_router_address(dst_ip):
@@ -205,6 +242,10 @@ class RouterCore(Component):
             out_port = self.mac_to_port.get(dst_lease.mac)
             if out_port is None:
                 self.drops += 1
+                if ctx is not None:
+                    ctx.finish(
+                        "router", "drop", decision="drop", cause="dst_port_unknown"
+                    )
                 return
             self._install_route(msg, key, dst_lease.mac, out_port)
             return
@@ -215,8 +256,19 @@ class RouterCore(Component):
             if self.dns_proxy is not None:
                 verdict = self.dns_proxy.check_flow(src_ip, dst_ip)
                 if verdict == FLOW_BLOCKED:
+                    if ctx is not None:
+                        ctx.hop(
+                            "dns",
+                            "flow_check",
+                            decision="blocked",
+                            cause=f"dst={dst_ip}",
+                        )
                     self._install_drop(msg, key, reason="site_blocked")
                     return
+                if ctx is not None:
+                    ctx.hop(
+                        "dns", "flow_check", decision="allowed", cause=f"dst={dst_ip}"
+                    )
             if self.nat is not None and key.nw_proto in (PROTO_TCP, PROTO_UDP):
                 self._install_nat_route(msg, key)
             else:
@@ -225,6 +277,8 @@ class RouterCore(Component):
 
         # Arrived from upstream for an address we no longer lease: drop.
         self.drops += 1
+        if ctx is not None:
+            ctx.finish("router", "drop", decision="drop", cause="no_lease_for_dst")
 
     # ------------------------------------------------------------------
     # Source NAT (optional extension; RouterConfig(nat_enabled=True))
@@ -236,6 +290,23 @@ class RouterCore(Component):
         binding = self.nat.bind(
             key.nw_proto, key.nw_src, key.tp_src or 0, self.now
         )
+        ctx = trace_of(msg.data)
+        if ctx is not None:
+            ctx.hop(
+                "nat",
+                "translate",
+                decision="bind",
+                cause=(
+                    f"{binding.device_ip}:{binding.device_port}"
+                    f"->{self.nat.external_ip}:{binding.external_port}"
+                ),
+            )
+            ctx.hop(
+                "router",
+                "flow_install",
+                decision="forward",
+                cause=f"out_port={self.upstream_port} nat=true",
+            )
         forward = [
             SetNwSrc(self.nat.external_ip),
             SetTpSrc(binding.external_port),
@@ -280,6 +351,14 @@ class RouterCore(Component):
 
     def _install_route(self, msg: PacketIn, key, dst_mac: MACAddress, out_port: int) -> None:
         actions = route_rewrite(self.config.router_mac, dst_mac, out_port)
+        ctx = trace_of(msg.data)
+        if ctx is not None:
+            ctx.hop(
+                "router",
+                "flow_install",
+                decision="forward",
+                cause=f"out_port={out_port} dst_mac={dst_mac}",
+            )
         self.flows_installed += 1
         self.controller.install_flow(
             Match.from_key(key),
@@ -292,6 +371,11 @@ class RouterCore(Component):
             self.controller.send_packet(msg.data, actions, in_port=msg.in_port)
 
     def _install_drop(self, msg: PacketIn, key, reason: str) -> None:
+        ctx = trace_of(msg.data)
+        if ctx is not None:
+            # The packet dies in the datapath buffer (no packet-out) —
+            # the deny verdict is the end of its lineage.
+            ctx.finish("router", "drop", decision="drop", cause=reason)
         self.flows_blocked += 1
         self.controller.install_flow(
             Match.from_key(key),
@@ -320,6 +404,7 @@ class RouterCore(Component):
             and key.nw_dst == self.nat.external_ip
             and key.nw_proto in (PROTO_TCP, PROTO_UDP)
         ):
+            ctx = trace_of(msg.data)
             binding = self.nat.lookup_external(key.nw_proto, key.tp_dst or 0, self.now)
             if binding is not None:
                 lease = self.dhcp.leases.by_ip(binding.device_ip)
@@ -327,6 +412,16 @@ class RouterCore(Component):
                     self.mac_to_port.get(lease.mac) if lease is not None else None
                 )
                 if lease is not None and device_port is not None:
+                    if ctx is not None:
+                        ctx.hop(
+                            "nat",
+                            "translate",
+                            decision="restore",
+                            cause=(
+                                f"{self.nat.external_ip}:{binding.external_port}"
+                                f"->{binding.device_ip}:{binding.device_port}"
+                            ),
+                        )
                     reverse = [
                         SetNwDst(binding.device_ip),
                         SetTpDst(binding.device_port),
@@ -347,6 +442,8 @@ class RouterCore(Component):
                         )
                     return
             self.drops += 1
+            if ctx is not None:
+                ctx.finish("nat", "expire", decision="drop", cause="nat_expired")
             return
         if key.nw_proto != PROTO_ICMP:
             # DHCP/DNS were consumed earlier in the chain; other local
@@ -370,7 +467,11 @@ class RouterCore(Component):
             payload=reply_ip,
         )
         self.echo_replies += 1
-        self.controller.send_packet(reply_frame.pack(), output(msg.in_port))
+        ctx = trace_of(msg.data)
+        if ctx is not None:
+            ctx.hop("router", "echo_reply", cause=f"ident={icmp.ident} seq={icmp.seq}")
+        reply_raw = with_trace(reply_frame.pack(), ctx)
+        self.controller.send_packet(reply_raw, output(msg.in_port))
 
     # ------------------------------------------------------------------
     # Control-plane hooks

@@ -30,6 +30,7 @@ from ..net.icmp import ICMP
 from ..net.ipv4 import IPv4, PROTO_ICMP, PROTO_TCP, PROTO_UDP
 from ..net.packet import PacketError
 from ..net.tcp import ACK, FIN, SYN, TCP
+from ..net.trace import trace_of, with_trace
 from ..net.udp import PORT_DHCP_CLIENT, PORT_DHCP_SERVER, PORT_DNS, UDP
 from .link import Port
 
@@ -220,6 +221,10 @@ class Host:
         self.frames_received = 0
         self.frames_sent = 0
 
+        # Packet-lineage flight recorder; the router injects its Tracer
+        # when the device attaches (None = tracing off, zero cost).
+        self.tracer = None
+
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
@@ -251,7 +256,17 @@ class Host:
 
     def send_frame(self, frame: Ethernet) -> None:
         self.frames_sent += 1
-        self.port.send(frame.pack())
+        raw = frame.pack()
+        if self.tracer is not None:
+            ctx = self.tracer.begin()
+            if ctx is not None:
+                raw = with_trace(raw, ctx)
+                ctx.hop(
+                    "host",
+                    "tx",
+                    cause=f"device={self.name} ethertype={frame.ethertype:#06x}",
+                )
+        self.port.send(raw)
 
     def _on_frame(self, raw: bytes, _port: Port) -> None:
         self.frames_received += 1
@@ -261,6 +276,11 @@ class Host:
             return
         if frame.dst != self.mac and not frame.dst.is_broadcast and not frame.dst.is_multicast:
             return  # not for us (promiscuous mode not modelled)
+        ctx = trace_of(raw)
+        if ctx is not None:
+            # First matching receiver ends the trace (finish is
+            # idempotent, so broadcast copies are harmless).
+            ctx.finish("host", "rx", decision="delivered", cause=f"device={self.name}")
         if frame.ethertype == ETH_TYPE_ARP:
             arp = frame.find(ARP)
             if arp is not None:

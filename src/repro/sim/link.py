@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from ..core.errors import SimulationError
 from ..net.port import Port, ReceiveHandler
+from ..net.trace import trace_of
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .simulator import Simulator
@@ -124,9 +125,15 @@ class Link:
         """Schedule delivery of ``frame`` at the far end."""
         destination = self.peer(from_port)
         plan = self._delivery_plan(frame)
+        ctx = trace_of(frame)
         if not plan:
             self.frames_dropped += 1
+            if ctx is not None:
+                # A drop always publishes its lineage (sampling bypassed).
+                ctx.finish("link", "drop", decision="drop", cause="link_fault")
             return
+        if ctx is not None and ctx.active:
+            ctx.hop("link", "deliver", cause=f"wired dst={destination.name}")
         start = max(self.sim.now, self._busy_until[id(from_port)])
         done = start + self._serialization_delay(frame)
         self._busy_until[id(from_port)] = done
@@ -197,13 +204,29 @@ class WirelessLink(Link):
             attempts += 1
         self.transmissions += attempts
         self.retries += attempts - 1
+        ctx = trace_of(frame)
         if attempts > self.max_retries:
             self.frames_dropped += 1
+            if ctx is not None:
+                ctx.finish(
+                    "link",
+                    "drop",
+                    decision="drop",
+                    cause=f"retries_exceeded rssi={self.rssi_dbm:.1f}dBm",
+                )
             return
         plan = self._delivery_plan(frame)
         if not plan:
             self.frames_dropped += 1
+            if ctx is not None:
+                ctx.finish("link", "drop", decision="drop", cause="link_fault")
             return
+        if ctx is not None and ctx.active:
+            ctx.hop(
+                "link",
+                "deliver",
+                cause=f"wireless rssi={self.rssi_dbm:.1f}dBm retries={attempts - 1}",
+            )
         start = max(self.sim.now, self._busy_until[id(from_port)])
         done = start + attempts * self._serialization_delay(frame)
         self._busy_until[id(from_port)] = done

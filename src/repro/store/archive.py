@@ -67,9 +67,10 @@ MANIFEST_NAME = "MANIFEST.json"
 WAL_NAME = "wal.log"
 SEGMENT_DIR = "segments"
 
-#: Tables that must never spill: their rows are wall-clock tainted, so a
-#: durable copy would break deterministic replay/digest comparison.
-DEFAULT_EXCLUDE = ("metrics",)
+#: Tables that must never spill: metrics rows are wall-clock tainted (a
+#: durable copy would break deterministic replay/digest comparison) and
+#: trace lineages are high-churn debug data with no recovery value.
+DEFAULT_EXCLUDE = ("metrics", "traces")
 
 #: Parsed segment payloads kept in memory (per store, LRU).
 SEGMENT_CACHE_SIZE = 8
@@ -350,7 +351,11 @@ class DurableStore:
 
     def flush(self) -> int:
         """Group-commit the pending WAL batch; returns rows flushed."""
-        flushed = self.wal.flush()
+        if self._registry is not None:
+            with self._registry.span("store.group_commit"):
+                flushed = self.wal.flush()
+        else:
+            flushed = self.wal.flush()
         if flushed and self._m_rows is not None:
             self._m_rows.inc(flushed)
         return flushed

@@ -1,0 +1,7 @@
+"""Fixture: hop literals that break the trace-event vocabulary."""
+
+
+def annotate(ctx):
+    ctx.hop("firewall", "verdict", decision="deny")
+    ctx.hop("datapath", "cache-hit")
+    ctx.finish("Uplink", "drop", decision="drop")

@@ -1,0 +1,8 @@
+"""Fixture: well-formed trace-event literals (and out-of-scope calls)."""
+
+
+def annotate(ctx, runner, component):
+    ctx.hop("datapath", "lookup", decision="cache_hit")
+    ctx.finish("policy", "verdict", decision="deny", cause="device_denied")
+    ctx.hop(component, "lookup")  # dynamic component: skipped
+    runner.finish()  # unrelated finish(): no positional literals

@@ -118,6 +118,20 @@ class TestMetricNameRule:
         assert findings(source, {"metric-name", "metric-kind"}) == []
 
 
+class TestTraceEventRule:
+    def test_flags_unregistered_components_and_kebab_verbs(self):
+        source = fixture("trace_bad.py", "repro.services.sample")
+        assert findings(source, {"trace-event"}) == [
+            ("trace-event", 5),  # component "firewall" not registered
+            ("trace-event", 6),  # verb "cache-hit" is kebab-case
+            ("trace-event", 7),  # component "Uplink" not registered
+        ]
+
+    def test_registered_literals_and_dynamic_calls_are_clean(self):
+        source = fixture("trace_ok.py", "repro.services.sample")
+        assert findings(source, {"trace-event"}) == []
+
+
 class TestLayeringRule:
     def test_layer_table_longest_prefix(self):
         assert layer_of("repro.core.clock") == 0

@@ -61,6 +61,9 @@ def _canned_results():
         "flow_lookup_speedup_512": 25.0,
         "sim_dispatch_events": 200_000.0,
         "classify_memoized": 5_000_000.0,
+        "trace_untraced_pps": 80_000.0,
+        "trace_sampled_pps": 78_000.0,
+        "trace_overhead_ratio_sampled": 0.975,
         "detail": {},
     }
 
@@ -76,6 +79,9 @@ def test_quick_report_schema(quick_results):
         "flow_lookup_speedup_512",
         "sim_dispatch_events",
         "classify_memoized",
+        "trace_untraced_pps",
+        "trace_sampled_pps",
+        "trace_overhead_ratio_sampled",
     ):
         assert isinstance(report["results"][key], float), key
     detail = report["results"]["detail"]

@@ -5,6 +5,8 @@ between two runs of the same seed, every repro file in the corpus stops
 meaning anything.
 """
 
+import json
+
 import pytest
 
 from repro.check import (
@@ -97,6 +99,40 @@ class TestReplayFiles:
         replayed = ScenarioRunner(loaded).run()
         assert replayed.violation is not None
         assert replayed.violation.invariant == invariant
+
+    def test_repro_files_embed_packet_lineage(self, tmp_path):
+        """An injected failure's repro file carries the flight-recorder
+        lineages of the packets dropped on the way to the violation."""
+        ops = [
+            # A wireless camera far outside useful range: every frame it
+            # sends dies in link retries, force-publishing its lineage.
+            Op(1.0, "add_device", {
+                "name": "cam", "mac": "02:aa:00:00:00:07",
+                "wireless": True, "position": (120.0, 120.0),
+            }),
+            Op(2.0, "start_dhcp", {"device": "cam"}),
+            Op(30.0, "corrupt_flows", {}),
+        ]
+        scenario = Scenario(7, {"default_permit": True}, ops, 40.0)
+        result = ScenarioRunner(scenario).run()
+        assert result.violation is not None
+        assert result.lineage, "violating run captured no lineages"
+
+        path = tmp_path / "repro.json"
+        write_repro(path, result)
+        payload = json.loads(path.read_text())
+        assert payload["lineage"], "repro file embeds no lineage"
+        last = payload["lineage"][-1]
+        assert last["forced"] and last["outcome"] == "drop"
+        hops = last["hops"]
+        assert hops[0]["component"] == "host" and hops[0]["verb"] == "tx"
+        assert hops[-1]["component"] == "link" and hops[-1]["decision"] == "drop"
+
+    def test_clean_runs_carry_no_lineage(self):
+        scenario = generate_scenario(seed=3, max_ops=8)
+        result = ScenarioRunner(scenario).run()
+        if result.violation is None:
+            assert result.lineage == []
 
     @staticmethod
     def _failing_scenario():

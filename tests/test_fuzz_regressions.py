@@ -94,3 +94,48 @@ def test_golden_trace_batching_invariant_fast(seed, monkeypatch):
 @pytest.mark.parametrize("seed", range(GOLDEN_SEEDS_FAST, GOLDEN_SEEDS))
 def test_golden_trace_batching_invariant_full(seed, monkeypatch):
     _assert_batching_invisible(seed, monkeypatch)
+
+
+# ----------------------------------------------------------------------
+# Golden-trace determinism: the flight recorder must be invisible too
+# ----------------------------------------------------------------------
+
+
+def _run_with_tracing(seed: int, traced: bool):
+    """One fuzzer scenario with the runner's flight recorder on or off.
+
+    The runner enables in-memory, publish-free tracing by default;
+    forcing the tracer off replays the exact pre-recorder world.  The
+    digests must agree: sampling is a deterministic counter (no RNG
+    draws) and drop lineages never touch hwdb insert counts.
+    """
+    scenario = generate_scenario(seed)
+    runner = ScenarioRunner(scenario)
+    if not traced:
+        runner.router.tracer.enabled = False
+    result = runner.run()
+    return result.trace_hash, runner.sim.events_executed
+
+
+def _assert_tracing_invisible(seed: int):
+    traced_hash, traced_events = _run_with_tracing(seed, True)
+    plain_hash, plain_events = _run_with_tracing(seed, False)
+    assert traced_hash == plain_hash, (
+        f"seed {seed}: lineage tracing changed the trace hash "
+        f"({traced_hash[:12]} != {plain_hash[:12]})"
+    )
+    assert traced_events == plain_events, (
+        f"seed {seed}: events_executed diverged "
+        f"({traced_events} != {plain_events})"
+    )
+
+
+@pytest.mark.parametrize("seed", range(GOLDEN_SEEDS_FAST))
+def test_golden_trace_tracing_invariant_fast(seed):
+    _assert_tracing_invisible(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(GOLDEN_SEEDS_FAST, GOLDEN_SEEDS))
+def test_golden_trace_tracing_invariant_full(seed):
+    _assert_tracing_invisible(seed)

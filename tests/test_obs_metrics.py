@@ -74,6 +74,39 @@ class TestRegistry:
         assert work(21) == 42
         assert registry.get("span.work").count == 1
 
+    def test_timed_decorator_tags_and_nesting(self):
+        registry = MetricsRegistry()
+
+        @registry.timed("inner.step", stage="apply")
+        def inner():
+            return registry.current_span()
+
+        with registry.span("outer.step") as outer:
+            observed = inner()
+        assert observed.parent is outer
+        assert observed.tags == {"stage": "apply"}
+        assert observed.depth == 1
+
+    def test_span_records_even_when_body_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.span("risky.op"):
+                raise ValueError("boom")
+        assert registry.get("span.risky.op").count == 1
+        assert registry.current_span() is None
+        assert registry.finished_spans[-1].name == "risky.op"
+        assert registry.finished_spans[-1].duration >= 0.0
+
+    def test_span_ring_overflow_counts_drops(self):
+        registry = MetricsRegistry(max_finished_spans=4)
+        for _ in range(6):
+            with registry.span("obs.tick"):
+                pass
+        # The first four fill the ring; the last two each evict one.
+        assert registry.get("obs.spans_dropped").value == 2
+        assert len(registry.finished_spans) == 4
+        assert registry.get("span.obs.tick").count == 6
+
     def test_render_text_exposition(self):
         registry = MetricsRegistry()
         registry.counter("hwdb.insert_total").inc(3)
@@ -122,6 +155,40 @@ class TestFlusher:
         sim.run_for(1.5)
         assert flusher.flushes == 1
         assert len(db.table("metrics")) > 0
+
+    def test_raising_collector_before_good_one_is_isolated(self):
+        sim, db, registry, flusher = _flushing_db(interval=1.0)
+        ran = []
+
+        def explode():
+            raise RuntimeError("collector bug")
+
+        flusher.add_collector(explode)
+        flusher.add_collector(lambda: ran.append(sim.now))
+        sim.run_for(1.5)
+        assert ran, "good collector after the raising one never ran"
+        assert flusher.flushes == 1
+        assert registry.get("obs.collector_errors").value == 1
+
+    def test_raising_collector_after_good_one_is_isolated(self):
+        sim, db, registry, flusher = _flushing_db(interval=1.0)
+        ran = []
+
+        def explode():
+            raise RuntimeError("collector bug")
+
+        flusher.add_collector(lambda: ran.append(sim.now))
+        flusher.add_collector(explode)
+        sim.run_for(1.5)
+        assert ran, "good collector before the raising one never ran"
+        assert flusher.flushes == 1
+        assert registry.get("obs.collector_errors").value == 1
+        # The error count itself reaches the Metrics table next flush.
+        sim.run_for(1.0)
+        result = db.query(
+            "SELECT last(value) FROM metrics WHERE name = 'obs.collector_errors'"
+        )
+        assert result.scalar() == 2.0
 
     def test_ring_eviction_bounds_memory(self):
         sim, db, registry, flusher = _flushing_db(interval=1.0)
@@ -227,6 +294,30 @@ class TestRouterTelemetry:
             RouterConfig(metrics_flush_interval=0)
         config = RouterConfig(metrics_flush_interval=0.5)
         assert config.metrics_flush_interval == 0.5
+
+    def test_hot_paths_emit_spans(self, busy_router):
+        """Controller dispatch and query ticks run inside spans."""
+        _sim, router = busy_router
+        assert router.metrics.get("span.openflow.packet_in").count > 0
+        router.hwdb_client().query("SELECT name FROM metrics [RANGE 2 SECONDS]")
+        assert router.metrics.get("span.query.tick").count > 0
+
+    def test_store_group_commit_runs_in_span(self, tmp_path):
+        sim = Simulator(seed=5)
+        router = HomeworkRouter(
+            sim,
+            RouterConfig(
+                default_permit=True,
+                durable_store=True,
+                store_dir=str(tmp_path / "store"),
+            ),
+        )
+        router.start()
+        join_device(router, "tv", "02:aa:00:00:00:02")
+        sim.run_for(5.0)
+        router.store.flush()
+        assert router.metrics.get("span.store.group_commit").count > 0
+        router.stop()
 
     def test_port_gauges_reflect_traffic(self, busy_router):
         _sim, router = busy_router

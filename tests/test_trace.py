@@ -1,0 +1,218 @@
+"""The flight recorder: causal packet lineage end to end.
+
+The acceptance criterion is *exact hop chains*: for a policy-denied
+packet, a NAT-translated flow and a DNS-filter redirect, the recorded
+lineage must name every component the packet traversed, in order, with
+the decision each one took.  Plus the operating rules: drops and
+denials are traced at any sampling rate (including 0), the hwdb Traces
+table reconstructs the same chain over CQL that the in-memory tracer
+holds, and with tracing disabled no trace machinery touches the frame
+path at all.
+"""
+
+import pytest
+
+from repro import HomeworkRouter, RouterConfig, Simulator
+from repro.net.trace import TracedBytes, with_trace
+from repro.obs.trace import render_lineage
+from repro.services.dnsproxy.filter import DeviceRule, MODE_ALLOW
+
+from tests.conftest import join_device
+
+pytestmark = pytest.mark.tier1
+
+
+def build_router(trace_sample=1.0, trace_enabled=True, **config):
+    sim = Simulator(seed=42)
+    router = HomeworkRouter(
+        sim,
+        RouterConfig(
+            default_permit=True,
+            trace_enabled=trace_enabled,
+            trace_sample=trace_sample,
+            **config,
+        ),
+    )
+    router.start()
+    return sim, router
+
+
+def chain(ctx):
+    """The (component, verb, decision) spine of a lineage."""
+    return [(h.component, h.verb, h.decision) for h in ctx.hops]
+
+
+def finished_since(tracer, mark):
+    return [ctx for ctx in tracer.finished if ctx.ordinal >= mark]
+
+
+def find_chain(tracer, mark, expected):
+    """The first newly finished lineage matching ``expected`` exactly."""
+    candidates = finished_since(tracer, mark)
+    for ctx in candidates:
+        if chain(ctx) == expected:
+            return ctx
+    raise AssertionError(
+        "no lineage matched\n  expected: %r\n  got: %s"
+        % (expected, "\n       ".join(repr(chain(c)) for c in candidates))
+    )
+
+
+class TestExactChains:
+    def test_policy_denied_packet_chain(self):
+        sim, router = build_router()
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        router.dhcp.policy.set_state(tv.mac, "denied")
+        mark = router.tracer._finish_ordinal
+        tv.udp_send(router.config.upstream_ip, 9, b"denied-datagram")
+        sim.run_for(2.0)
+        ctx = find_chain(
+            router.tracer,
+            mark,
+            [
+                ("host", "tx", ""),
+                ("link", "deliver", ""),
+                ("datapath", "lookup", "miss"),
+                ("datapath", "punt", "to_controller"),
+                ("channel", "deliver", ""),
+                ("controller", "packet_in", ""),
+                ("policy", "verdict", "deny"),
+                ("router", "drop", "drop"),
+            ],
+        )
+        assert ctx.forced and ctx.outcome == "drop"
+        assert "device_denied" in ctx.hops[-1].cause
+
+    def test_nat_translated_flow_chain(self):
+        sim, router = build_router(nat_enabled=True)
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        site = router.cloud.lookup("bbc.co.uk")
+        mark = router.tracer._finish_ordinal
+        tv.udp_send(site, 9, b"nat-datagram")
+        sim.run_for(2.0)
+        ctx = find_chain(
+            router.tracer,
+            mark,
+            [
+                ("host", "tx", ""),
+                ("link", "deliver", ""),
+                ("datapath", "lookup", "miss"),
+                ("datapath", "punt", "to_controller"),
+                ("channel", "deliver", ""),
+                ("controller", "packet_in", ""),
+                ("policy", "verdict", "permit"),
+                ("dns", "flow_check", "allowed"),
+                ("nat", "translate", "bind"),
+                ("router", "flow_install", "forward"),
+                ("link", "deliver", ""),
+                ("host", "rx", "delivered"),
+            ],
+        )
+        assert ctx.outcome == "delivered"
+        nat_hop = next(h for h in ctx.hops if h.component == "nat")
+        assert str(router.router_core.nat.external_ip) in nat_hop.cause
+
+    def test_dns_filter_redirect_chain(self):
+        sim, router = build_router()
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        router.dns_proxy.filter.set_rule(
+            tv.mac, DeviceRule(MODE_ALLOW, blocked=["youtube.com"])
+        )
+        answers = []
+        mark = router.tracer._finish_ordinal
+        tv.resolve("youtube.com", lambda address, rcode: answers.append(address))
+        sim.run_for(2.0)
+        ctx = find_chain(
+            router.tracer,
+            mark,
+            [
+                ("host", "tx", ""),
+                ("link", "deliver", ""),
+                ("datapath", "lookup", "miss"),
+                ("datapath", "punt", "to_controller"),
+                ("channel", "deliver", ""),
+                ("controller", "packet_in", ""),
+                ("dns", "query", ""),
+                ("dns", "answer", "blocked"),
+                ("link", "deliver", ""),
+                ("host", "rx", "delivered"),
+            ],
+        )
+        assert ctx.forced, "a DNS-filter block must be traced at any sample"
+        assert answers, "the redirect answer never reached the device"
+
+
+class TestSamplingRules:
+    def test_drops_traced_at_sample_zero(self):
+        sim, router = build_router(trace_sample=0.0)
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        router.dhcp.policy.set_state(tv.mac, "denied")
+        mark = router.tracer._finish_ordinal
+        tv.udp_send(router.config.upstream_ip, 9, b"denied-datagram")
+        sim.run_for(2.0)
+        drops = [ctx for ctx in finished_since(router.tracer, mark) if ctx.forced]
+        assert drops, "denial not traced at sample=0"
+        assert drops[-1].outcome == "drop"
+        assert not drops[-1].sampled
+        # Nothing else was published: every lineage present is a drop.
+        assert all(ctx.forced for ctx in finished_since(router.tracer, mark))
+
+    def test_sampling_is_a_deterministic_counter(self):
+        sim, router = build_router(trace_sample=0.5)
+        sampled = [router.tracer.begin().sampled for _ in range(8)]
+        assert sampled == [False, True] * 4
+
+    def test_disabled_tracer_leaves_frames_untouched(self):
+        sim, router = build_router(trace_enabled=False)
+        seen = []
+        router.datapath.taps.append(lambda raw, in_port: seen.append(raw))
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        tv.udp_send(router.config.upstream_ip, 9, b"plain-datagram")
+        sim.run_for(2.0)
+        assert seen, "no frames traversed the datapath"
+        assert not any(isinstance(raw, TracedBytes) for raw in seen)
+        assert router.tracer.begin() is None
+        assert len(router.db.table("traces")) == 0
+
+    def test_with_trace_none_is_identity(self):
+        raw = b"frame"
+        assert with_trace(raw, None) is raw
+
+
+class TestTracesTable:
+    def test_explain_chain_reconstructed_over_cql(self):
+        sim, router = build_router()
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        router.dhcp.policy.set_state(tv.mac, "denied")
+        tv.udp_send(router.config.upstream_ip, 9, b"denied-datagram")
+        sim.run_for(2.0)
+        drop_ctx = router.tracer.drops(1)[-1]
+        # Ride the flusher road into the Traces stream table.
+        sim.run_for(2 * router.config.metrics_flush_interval)
+        result = router.hwdb_client().query(
+            "SELECT seq, parent, component, verb, decision, cause, t "
+            f"FROM traces WHERE trace_id = '{drop_ctx.trace_id}'"
+        )
+        rows = [
+            dict(zip(("seq", "parent", "component", "verb", "decision", "cause", "t"), row))
+            for row in result.rows
+        ]
+        assert [(r["component"], r["verb"], r["decision"]) for r in sorted(rows, key=lambda r: r["seq"])] == chain(drop_ctx)
+        # parent links form the causal spine: each hop's parent is the
+        # previous seq, the root's is -1.
+        for row in rows:
+            assert row["parent"] == row["seq"] - 1 if row["seq"] else row["parent"] == -1
+        rendered = render_lineage(drop_ctx.trace_id, rows)
+        assert f"trace {drop_ctx.trace_id}" in rendered
+        assert "outcome: drop" in rendered
+        assert "policy.verdict" in rendered
+
+    def test_rows_exported_once(self):
+        sim, router = build_router()
+        tv = join_device(router, "tv", "02:aa:00:00:00:02")
+        router.dhcp.policy.set_state(tv.mac, "denied")
+        tv.udp_send(router.config.upstream_ip, 9, b"denied-datagram")
+        sim.run_for(2.0)
+        first = router.tracer.export_rows()
+        assert first
+        assert router.tracer.export_rows() == []
